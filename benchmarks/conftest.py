@@ -1,0 +1,29 @@
+"""Shared fixtures and scales for the benchmark harness.
+
+Each benchmark regenerates one paper artifact at a reduced scale
+(pytest-benchmark measures the harness; the printed rows are the
+artifact). Environment knob ``REPRO_BENCH_INSTRUCTIONS`` scales the
+simulated instruction count (default 1500/core, full reproduction used
+6000/core — see EXPERIMENTS.md).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentScale
+
+BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "1500"))
+
+#: small representative roster: one latency-bound, one hit-heavy, one
+#: associativity-sensitive, one miss-intensive, one mix
+BENCH_WORKLOADS = ("blackscholes", "ammp", "cactusADM", "canneal", "cpu2K6rand0")
+
+
+@pytest.fixture
+def bench_scale():
+    return ExperimentScale(
+        instructions_per_core=BENCH_INSTRUCTIONS,
+        workloads=BENCH_WORKLOADS,
+        seed=1,
+    )

@@ -1,0 +1,17 @@
+"""Bench: Section VI-D (L2 tag-array bandwidth, self-throttling)."""
+
+from repro.experiments import bandwidth
+
+
+def test_bandwidth_self_throttling(benchmark, bench_scale):
+    points = benchmark.pedantic(
+        bandwidth.run, kwargs={"scale": bench_scale}, iterations=1, rounds=1
+    )
+    print("Section VI-D (reduced): Z4/52 L2 bank load")
+    for p in sorted(points, key=lambda p: p.misses_per_cycle_per_bank):
+        print("  " + p.row())
+    # Tag bandwidth stays far from saturation (1 access/cycle/bank).
+    assert max(p.tag_load_per_bank for p in points) < 0.8
+    # The walk inflates tag traffic but not unboundedly (<= R per miss).
+    for p in points:
+        assert p.tag_load_per_bank >= p.demand_load_per_bank

@@ -1,0 +1,51 @@
+"""Ablation bench: pinnable capacity across designs (Section I claim).
+
+The paper's motivation: buffering/pinning systems (TM, speculation,
+replay) need associativity to hold their block sets without falling
+back. This bench measures how much of each design's capacity can be
+pinned before the first overflow.
+"""
+
+import random
+
+from repro.core import Cache, SetAssociativeArray, SkewAssociativeArray, ZCacheArray
+from repro.replacement import LRU
+
+BLOCKS = 512
+
+
+def pinnable(array_factory, seed):
+    cache = Cache(array_factory(seed), LRU())
+    rng = random.Random(seed)
+    pinned = 0
+    while True:
+        result = cache.access(rng.randrange(1 << 30), is_write=True)
+        if result.bypassed:
+            return pinned
+        cache.pin(result.address)
+        pinned += 1
+
+
+def test_pinnable_capacity_by_design(benchmark):
+    designs = {
+        "SA-4h": lambda s: SetAssociativeArray(
+            4, BLOCKS // 4, hash_kind="h3", hash_seed=s
+        ),
+        "SK-4": lambda s: SkewAssociativeArray(4, BLOCKS // 4, hash_seed=s),
+        "Z4/16": lambda s: ZCacheArray(4, BLOCKS // 4, levels=2, hash_seed=s),
+        "Z4/52": lambda s: ZCacheArray(4, BLOCKS // 4, levels=3, hash_seed=s),
+    }
+
+    def sweep():
+        return {
+            name: sum(pinnable(f, seed) for seed in range(3)) / 3
+            for name, f in designs.items()
+        }
+
+    result = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("Pinnable blocks before overflow (512-block caches):")
+    for name, mean in result.items():
+        print(f"  {name:8s} {mean:6.0f} ({mean / BLOCKS:5.1%} of capacity)")
+    # The paper's ordering: candidates, not ways, set buffering capacity.
+    assert result["SA-4h"] < result["SK-4"] < result["Z4/16"] < result["Z4/52"]
+    assert result["Z4/52"] > 0.8 * BLOCKS

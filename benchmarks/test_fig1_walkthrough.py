@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 1 (the replacement process walkthrough)."""
+
+from repro.experiments import fig1
+
+
+def test_fig1_replacement_process(benchmark):
+    result = benchmark.pedantic(fig1.run, kwargs={"seed": 4}, iterations=1,
+                                rounds=1)
+    for line in result.rows():
+        print(line)
+    assert result.candidates_per_level == {0: 3, 1: 6, 2: 12}
+    assert result.total_candidates == 21  # paper: 3 + 6 + 12
+    assert result.walk_cycles == 12  # paper Fig. 1g
+    assert result.timeline.hidden  # finishes under the memory fetch

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 2 (uniformity-assumption CDF curves)."""
+
+from repro.experiments import fig2
+
+
+def test_fig2_uniformity_curves(benchmark):
+    result = benchmark.pedantic(
+        fig2.run,
+        kwargs={"cache_blocks": 1024, "accesses": 20_000},
+        iterations=1,
+        rounds=1,
+    )
+    for line in result.rows():
+        print(line)
+    # The random-candidates validation must track the analytic curves.
+    for n in fig2.CANDIDATE_COUNTS:
+        assert result.simulated[n][1] < 0.15

@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 3 (associativity distributions of real caches)."""
+
+from repro.experiments import fig3
+from repro.experiments.runner import ExperimentScale
+
+from conftest import BENCH_INSTRUCTIONS
+
+
+def test_fig3_associativity_distributions(benchmark):
+    scale = ExperimentScale(instructions_per_core=max(3000, BENCH_INSTRUCTIONS))
+    cells = benchmark.pedantic(
+        fig3.run,
+        kwargs={"scale": scale, "workloads": ("wupwise", "mgrid", "blackscholes")},
+        iterations=1,
+        rounds=1,
+    )
+    print("Fig.3 (reduced): eviction-priority summaries")
+    for cell in cells:
+        print(cell.row())
+
+    def mean_ks(panel_prefix):
+        sel = [
+            c.distribution.ks_to_uniformity(c.candidates)
+            for c in cells
+            if c.panel.startswith(panel_prefix)
+        ]
+        return sum(sel) / len(sel)
+
+    # Paper ordering: skew ~ uniformity, hashed SA better than plain SA.
+    assert mean_ks("c:") < mean_ks("b:") < mean_ks("a:")

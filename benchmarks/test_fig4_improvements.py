@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 4 (MPKI and IPC improvements, OPT and LRU)."""
+
+from repro.experiments import fig4
+
+
+def test_fig4_mpki_ipc_improvements(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig4.run,
+        kwargs={"scale": bench_scale, "policies": ("opt", "lru")},
+        iterations=1,
+        rounds=1,
+    )
+    print("Fig.4 (reduced roster): sorted improvement series")
+    for s in sorted(result.series, key=lambda s: (s.metric, s.policy, s.design)):
+        print("  " + s.row())
+
+    # Shape claims (paper Section VI-B):
+    for policy in ("opt", "lru"):
+        z16 = result.get("mpki", policy, "Z4/16-S").geomean()
+        sa16 = result.get("mpki", policy, "SA-16h-S").geomean()
+        z52 = result.get("mpki", policy, "Z4/52-S").geomean()
+        # Same candidate count -> practically the same MPKI improvement.
+        assert abs(z16 - sa16) < 0.05
+        # More candidates never hurt the geomean materially.
+        assert z52 > z16 - 0.03
+        # zcaches keep the baseline's latency: IPC never collapses.
+        assert min(result.get("ipc", policy, "Z4/52-S").values()) > 0.95

@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 5 (IPC and BIPS/W, serial vs parallel lookups)."""
+
+from repro.experiments import fig5
+
+
+def test_fig5_ipc_and_efficiency(benchmark, bench_scale):
+    cells = benchmark.pedantic(
+        fig5.run,
+        kwargs={"scale": bench_scale, "policies": ("lru",)},
+        iterations=1,
+        rounds=1,
+    )
+    print("Fig.5 (reduced roster): IPC and BIPS/W vs serial SA-4h")
+    for cell in cells:
+        print("  " + cell.row())
+
+    def geo(design, metric):
+        for c in cells:
+            if c.design == design and c.group == "geomean-all":
+                return getattr(c, metric)
+        raise KeyError(design)
+
+    # Parallel lookup helps IPC (lower hit latency) at the same design.
+    assert geo("SA-4h-P", "ipc_improvement") >= geo(
+        "SA-4h-S", "ipc_improvement"
+    ) - 1e-9
+    # 32-way parallel pays a large hit-energy premium; the zcache keeps
+    # 4-way hit energy, so its efficiency must beat SA-32-parallel.
+    assert geo("Z4/52-P", "bips_per_watt_improvement") > geo(
+        "SA-32h-P", "bips_per_watt_improvement"
+    )

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table II (timing/area/power of cache designs)."""
+
+from repro.energy import table2_rows
+from repro.experiments import table2
+
+
+def test_table2_rows(benchmark):
+    rows = benchmark(table2_rows, 1 << 20, 1.0)
+    print("Table II (1 MB bank):")
+    for row in rows:
+        print("  " + row.format())
+    checks = table2.checks()
+    assert abs(checks.serial_hit_ratio_32_vs_4 - 2.0) < 0.1
+    assert abs(checks.parallel_hit_ratio_32_vs_4 - 3.3) < 0.2
+    assert abs(checks.area_ratio_32_vs_4 - 1.22) < 0.03
+    assert checks.z52_keeps_4way_hit_energy
+    assert 1.0 < checks.z52_vs_sa32_miss_energy < 1.7

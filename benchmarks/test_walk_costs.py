@@ -1,0 +1,29 @@
+"""Bench: Section III-B figures of merit (R, T_walk, E_miss)."""
+
+from repro.experiments import merit
+
+
+def test_walk_figures_of_merit(benchmark):
+    rows = benchmark.pedantic(
+        merit.run,
+        kwargs={"accesses": 12_000},
+        iterations=1,
+        rounds=1,
+    )
+    print("Section III-B figures of merit:")
+    for row in rows:
+        print("  " + row.row())
+    by_cfg = {(r.ways, r.levels): r for r in rows}
+    # R formula: paper configurations.
+    assert by_cfg[(4, 2)].r_formula == 16
+    assert by_cfg[(4, 3)].r_formula == 52
+    # Measured candidates fall short of R only through repeats/empties.
+    for r in rows:
+        assert r.r_measured <= r.r_formula + 1e-9
+        assert r.r_measured > 0.85 * r.r_formula
+    # E_miss grows with candidates; relocations bounded by L-1.
+    assert by_cfg[(4, 3)].e_miss_nj > by_cfg[(4, 2)].e_miss_nj
+    for r in rows:
+        assert r.mean_relocations <= r.levels - 1
+    # Paper's Fig. 1g example: 21 candidates in 12 cycles.
+    assert merit.walk_latency_cycles(3, 3, t_tag=4) == 12

@@ -1,0 +1,94 @@
+"""Ablation bench: BFS vs DFS walk strategy, repeat filters, early stop.
+
+DESIGN.md calls out these design choices; the paper argues (Section
+III-D) that BFS needs fewer relocations per candidate than DFS and that
+repeat filtering only matters for small caches. This bench quantifies
+both on the same traffic.
+"""
+
+import random
+
+from repro.core import Cache, ZCacheArray
+from repro.replacement import LRU
+
+
+def run_traffic(arr, accesses=15_000, footprint=6_000, seed=7):
+    cache = Cache(arr, LRU())
+    rng = random.Random(seed)
+    for _ in range(accesses):
+        cache.access(rng.randrange(footprint))
+    return cache
+
+
+def test_bfs_vs_dfs_relocations(benchmark):
+    def ablation():
+        bfs = ZCacheArray(4, 256, levels=3, strategy="bfs", hash_seed=3)
+        dfs = ZCacheArray(4, 256, levels=3, strategy="dfs", hash_seed=3, seed=5)
+        run_traffic(bfs)
+        run_traffic(dfs)
+        return bfs.stats, dfs.stats
+
+    bfs_stats, dfs_stats = benchmark.pedantic(ablation, iterations=1, rounds=1)
+    print("Walk-strategy ablation (Z4, 3 levels):")
+    for name, st in (("BFS", bfs_stats), ("DFS", dfs_stats)):
+        print(
+            f"  {name}: candidates/walk={st.mean_candidates_per_walk:5.1f} "
+            f"relocations/walk={st.mean_relocations_per_walk:.2f} "
+            f"tag reads/walk={st.tag_reads / max(st.walks, 1):.1f}"
+        )
+    # Paper: DFS pays more relocations for a given candidate count.
+    assert (
+        dfs_stats.mean_relocations_per_walk
+        > bfs_stats.mean_relocations_per_walk
+    )
+
+
+def test_repeat_filter_ablation(benchmark):
+    def ablation():
+        out = {}
+        for filt in (None, "exact", "bloom"):
+            arr = ZCacheArray(
+                2, 16, levels=4, repeat_filter=filt, hash_seed=9
+            )
+            run_traffic(arr, accesses=6_000, footprint=400)
+            out[filt] = arr.stats
+        return out
+
+    stats = benchmark.pedantic(ablation, iterations=1, rounds=1)
+    print("Repeat-filter ablation (tiny Z2, 4 levels):")
+    for filt, st in stats.items():
+        print(
+            f"  filter={str(filt):5s}: candidates/walk="
+            f"{st.mean_candidates_per_walk:5.2f} repeats/walk="
+            f"{st.repeats / max(st.walks, 1):.2f}"
+        )
+    # Filters prune expansion: fewer candidates examined per walk.
+    assert (
+        stats["exact"].mean_candidates_per_walk
+        <= stats[None].mean_candidates_per_walk
+    )
+
+
+def test_early_stop_ablation(benchmark):
+    def ablation():
+        out = {}
+        for limit in (None, 24, 8):
+            arr = ZCacheArray(
+                4, 256, levels=3, candidate_limit=limit, hash_seed=11
+            )
+            cache = run_traffic(arr)
+            out[limit] = (arr.stats, cache.stats)
+        return out
+
+    results = benchmark.pedantic(ablation, iterations=1, rounds=1)
+    print("Early-stop (bandwidth pressure) ablation (Z4/52):")
+    for limit, (wstats, cstats) in results.items():
+        print(
+            f"  limit={str(limit):4s}: tag reads/walk="
+            f"{wstats.tag_reads / max(wstats.walks, 1):5.1f} "
+            f"miss rate={cstats.miss_rate:.4f}"
+        )
+    full = results[None][0]
+    capped = results[8][0]
+    # Early stop trades candidates (associativity) for tag bandwidth.
+    assert capped.tag_reads / capped.walks < full.tag_reads / full.walks

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: build a zcache, run traffic, inspect the walk.
+
+Demonstrates the core API in under a minute:
+
+1. a 4-way zcache with a 3-level walk (Z4/52) next to the set-
+   associative cache it replaces;
+2. hit/miss behaviour and walk statistics;
+3. the Section III-B figures of merit for the configuration.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import itertools
+import random
+
+from repro import LRU, Cache, SetAssociativeArray, ZCacheArray
+from repro.core.zcache import replacement_candidates
+from repro.workloads.patterns import mixed, strided, zipf
+
+
+def main() -> None:
+    # Two caches of identical capacity (4 ways x 1024 lines = 256 KB of
+    # 64 B blocks): a conventional hashed set-associative cache and a
+    # zcache whose replacement walk collects 52 candidates.
+    setassoc = Cache(
+        SetAssociativeArray(num_ways=4, lines_per_way=1024, hash_kind="h3"),
+        LRU(),
+        name="SA-4 (hashed)",
+    )
+    zcache = Cache(
+        ZCacheArray(num_ways=4, lines_per_way=1024, levels=3),
+        LRU(),
+        name="Z4/52",
+    )
+    print(
+        f"Z4/52 nominal candidates: "
+        f"{replacement_candidates(num_ways=4, levels=3)} "
+        "(4 ways, 3-level walk)"
+    )
+
+    # Traffic with structure an LRU cache can exploit — a hot zipf
+    # region plus a strided scan just over capacity — so replacement
+    # *quality* (associativity) shows up in the miss rate.
+    rng = random.Random(42)
+    blocks = 4 * 1024
+    trace = mixed(
+        [
+            (0.5, zipf(blocks * 2, skew=1.2, seed=7)),
+            (0.5, strided(int(blocks * 1.25), stride=64, start=1)),
+        ],
+        seed=42,
+    )
+    for addr in itertools.islice(trace, 300_000):
+        is_write = rng.random() < 0.25
+        setassoc.access(addr, is_write)
+        zcache.access(addr, is_write)
+
+    for cache in (setassoc, zcache):
+        s = cache.stats
+        print(
+            f"{cache.name:14s} accesses={s.accesses} "
+            f"miss rate={s.miss_rate:.4f} writebacks={s.writebacks}"
+        )
+
+    ws = zcache.array.stats
+    print(
+        f"zcache walks: {ws.walks}, mean candidates/walk="
+        f"{ws.mean_candidates_per_walk:.1f}, mean relocations/walk="
+        f"{ws.mean_relocations_per_walk:.2f}, repeats/walk="
+        f"{ws.repeats / max(ws.walks, 1):.3f}"
+    )
+    improvement = setassoc.stats.miss_rate / zcache.stats.miss_rate
+    print(f"zcache miss-rate improvement over SA-4: {improvement:.3f}x")
+
+
+if __name__ == "__main__":
+    main()

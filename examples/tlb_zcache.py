@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Future-work exploration: a highly-associative zcache TLB.
+
+The paper's conclusion floats zcaches for "highly associative
+first-level caches and TLBs". A TLB is tiny (64-128 entries), so two of
+the paper's small-structure concerns become visible, and this example
+measures both:
+
+1. *walk repeats* are common when the walk covers a large fraction of
+   the structure — the Bloom-filter extension (Section III-D) prunes
+   them;
+2. page-aligned access patterns make un-hashed set-associative TLBs
+   conflict badly, while the zcache's associativity comes from its
+   candidate count.
+
+Run: ``python examples/tlb_zcache.py``
+"""
+
+import random
+
+from repro import LRU, Cache, SetAssociativeArray, ZCacheArray
+
+ENTRIES = 64  # a typical first-level TLB
+PAGES = 1 << 16
+
+
+def tlb_trace(n, seed=3):
+    """Page-number stream: hot pages + strided scans of big arrays.
+
+    Strides of array walks are page-aligned, the classic conflict
+    pattern for low-associativity TLBs.
+    """
+    rng = random.Random(seed)
+    hot = [rng.randrange(PAGES) for _ in range(24)]
+    for i in range(n):
+        r = rng.random()
+        if r < 0.70:
+            yield hot[rng.randrange(len(hot))]
+        elif r < 0.90:
+            yield (i * 16) % PAGES  # strided array walk
+        else:
+            yield rng.randrange(PAGES)
+
+
+def run(label, array):
+    tlb = Cache(array, LRU(), name=label)
+    for page in tlb_trace(200_000):
+        tlb.access(page)
+    return tlb
+
+
+def main() -> None:
+    configs = [
+        ("SA-4 TLB", SetAssociativeArray(4, ENTRIES // 4)),
+        ("SA-4 TLB (H3)", SetAssociativeArray(4, ENTRIES // 4, hash_kind="h3")),
+        ("Z4/16 TLB", ZCacheArray(4, ENTRIES // 4, levels=2)),
+        ("Z4/52 TLB", ZCacheArray(4, ENTRIES // 4, levels=3)),
+        (
+            "Z4/52 TLB + bloom",
+            ZCacheArray(4, ENTRIES // 4, levels=3, repeat_filter="bloom"),
+        ),
+        (
+            "Z4/52 TLB + exact",
+            ZCacheArray(4, ENTRIES // 4, levels=3, repeat_filter="exact"),
+        ),
+    ]
+    print(
+        f"{'config':18s} {'miss rate':>10s} {'cand/walk':>10s} "
+        f"{'tag reads/walk':>15s}"
+    )
+    for label, array in configs:
+        tlb = run(label, array)
+        stats = getattr(tlb.array, "stats", None)
+        if stats and stats.walks:
+            cands = f"{stats.mean_candidates_per_walk:10.2f}"
+            reads = f"{stats.tag_reads / stats.walks:15.2f}"
+        else:
+            cands, reads = " " * 10, " " * 15
+        print(f"{label:18s} {tlb.stats.miss_rate:10.4f} {cands} {reads}")
+    print()
+    print("In a 64-entry structure a deep walk revisits entries constantly;")
+    print("the Bloom filter stops expanding through repeated addresses, so")
+    print("the filtered designs examine fewer candidates (and spend fewer")
+    print("tag reads) for nearly the same miss rate — Section III-D's point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Buffering capacity: the paper's Section I motivation, measured.
+
+Transactional memory, thread-level speculation, deterministic replay
+and event-monitoring proposals all "use caches to buffer or pin
+specific blocks. Low associativity makes it difficult to buffer large
+sets of blocks, limiting the applicability of these schemes or
+requiring expensive fall-back mechanisms."
+
+This example plays a TM-like scenario: a transaction's write set must
+stay pinned in the cache until commit. We grow the write set until the
+cache overflows (the fall-back event) and report how much of each
+design's capacity is usable — associativity, not capacity, is the
+limit.
+
+Run: ``python examples/tm_buffering.py``
+"""
+
+import random
+
+from repro import (
+    LRU,
+    Cache,
+    SetAssociativeArray,
+    SkewAssociativeArray,
+    ZCacheArray,
+)
+
+BLOCKS = 1024  # every design has the same capacity
+TRIALS = 5
+
+
+def designs():
+    yield "SA-4 (no hash)", lambda s: SetAssociativeArray(4, BLOCKS // 4)
+    yield "SA-4 (H3)", lambda s: SetAssociativeArray(
+        4, BLOCKS // 4, hash_kind="h3", hash_seed=s
+    )
+    yield "SA-32 (H3)", lambda s: SetAssociativeArray(
+        32, BLOCKS // 32, hash_kind="h3", hash_seed=s
+    )
+    yield "skew-4", lambda s: SkewAssociativeArray(4, BLOCKS // 4, hash_seed=s)
+    yield "Z4/16", lambda s: ZCacheArray(4, BLOCKS // 4, levels=2, hash_seed=s)
+    yield "Z4/52", lambda s: ZCacheArray(4, BLOCKS // 4, levels=3, hash_seed=s)
+
+
+def pinnable_blocks(array_factory, seed: int) -> int:
+    """Pin random blocks until the first overflow; return the count."""
+    cache = Cache(array_factory(seed), LRU())
+    rng = random.Random(seed)
+    pinned = 0
+    while True:
+        addr = rng.randrange(1 << 30)
+        result = cache.access(addr, is_write=True)
+        if result.bypassed:
+            return pinned
+        cache.pin(addr)
+        pinned += 1
+
+
+def main() -> None:
+    print(f"Write-set blocks pinnable before overflow ({BLOCKS}-block caches,")
+    print(f"mean of {TRIALS} random write sets):")
+    print(f"{'design':16s} {'pinnable':>9s} {'of capacity':>12s}")
+    for name, factory in designs():
+        counts = [pinnable_blocks(factory, seed) for seed in range(TRIALS)]
+        mean = sum(counts) / len(counts)
+        print(f"{name:16s} {mean:9.0f} {mean / BLOCKS:11.1%}")
+    print()
+    print("A 4-way set-associative cache overflows once any one set holds")
+    print("four pinned blocks — a birthday-bound, far below capacity. The")
+    print("zcache keeps pinning until nearly full: its 52 candidates (and")
+    print("its ability to relocate pinned blocks) find a home for almost")
+    print("every block, which is exactly why buffering proposals want")
+    print("high associativity without 52 physical ways.")
+
+
+if __name__ == "__main__":
+    main()

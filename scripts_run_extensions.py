@@ -1,0 +1,30 @@
+"""Supplementary experiment runs: the extension artifacts.
+
+Companion to ``scripts_run_all.py`` (the paper's own tables/figures);
+this records the Section I / III-D / IV-C / VIII extension experiments
+into ``results/``.
+"""
+
+import contextlib
+import io
+import time
+
+
+def run(name, fn):
+    t0 = time.time()
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        fn()
+    with open(f"results/{name}.txt", "w") as f:
+        f.write(buf.getvalue())
+    print(f"{name} done in {time.time() - t0:.0f}s", flush=True)
+
+
+from repro.experiments import buffering, conflict, fig1, hashquality, pressure
+
+run("fig1", fig1.main)
+run("buffering", buffering.main)
+run("conflict", conflict.main)
+run("hashquality", hashquality.main)
+run("pressure", pressure.main)
+print("EXTENSIONS DONE", flush=True)

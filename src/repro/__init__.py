@@ -1,0 +1,96 @@
+"""repro — a reproduction of "The ZCache: Decoupling Ways and Associativity".
+
+Sanchez & Kozyrakis, MICRO-43, 2010.
+
+Public API tour
+---------------
+Cache arrays and controller (:mod:`repro.core`)::
+
+    from repro import ZCacheArray, Cache, LRU
+    cache = Cache(ZCacheArray(num_ways=4, lines_per_way=1024, levels=3), LRU())
+    result = cache.access(0xdeadbeef)
+
+Associativity framework (:mod:`repro.assoc`)::
+
+    from repro import TrackedPolicy, uniformity_cdf
+    tracked = TrackedPolicy(LRU())
+    cache = Cache(ZCacheArray(4, 1024, levels=2), tracked)
+    ...  # run a trace
+    dist = tracked.distribution()   # compare to uniformity_cdf(16)
+
+Workloads (:mod:`repro.workloads`), CMP simulation (:mod:`repro.sim`),
+energy/area models (:mod:`repro.energy`) and every paper figure/table
+(:mod:`repro.experiments`) build on these.
+"""
+
+from repro.assoc import (
+    AssociativityDistribution,
+    TrackedPolicy,
+    expected_priority,
+    measure_associativity,
+    uniformity_cdf,
+)
+from repro.core import (
+    AccessResult,
+    Cache,
+    CacheArray,
+    CacheStats,
+    FullyAssociativeArray,
+    RandomCandidatesArray,
+    SetAssociativeArray,
+    SkewAssociativeArray,
+    ZCacheArray,
+    replacement_candidates,
+)
+from repro.hashing import BitSelectHash, H3Hash, MixHash, make_hash_family
+from repro.replacement import (
+    FIFO,
+    LFU,
+    LRU,
+    NRU,
+    SRRIP,
+    BucketedLRU,
+    OptPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Cache",
+    "CacheArray",
+    "CacheStats",
+    "AccessResult",
+    "ZCacheArray",
+    "SkewAssociativeArray",
+    "SetAssociativeArray",
+    "FullyAssociativeArray",
+    "RandomCandidatesArray",
+    "replacement_candidates",
+    # hashing
+    "H3Hash",
+    "BitSelectHash",
+    "MixHash",
+    "make_hash_family",
+    # replacement
+    "ReplacementPolicy",
+    "LRU",
+    "FIFO",
+    "BucketedLRU",
+    "LFU",
+    "RandomPolicy",
+    "OptPolicy",
+    "SRRIP",
+    "NRU",
+    "make_policy",
+    # associativity framework
+    "AssociativityDistribution",
+    "TrackedPolicy",
+    "uniformity_cdf",
+    "expected_priority",
+    "measure_associativity",
+]

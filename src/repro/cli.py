@@ -1,0 +1,200 @@
+"""Command-line interface: ``zcache-repro <experiment> [options]``.
+
+Examples::
+
+    zcache-repro table2
+    zcache-repro fig3 --instructions 4000
+    zcache-repro fig4 --workloads canneal,cactusADM --instructions 5000
+    zcache-repro roster
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import ExperimentScale
+
+
+def _scale_from_args(args) -> ExperimentScale:
+    workloads = tuple(args.workloads.split(",")) if args.workloads else None
+    return ExperimentScale(
+        instructions_per_core=args.instructions,
+        workloads=workloads,
+        seed=args.seed,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="zcache-repro",
+        description="Reproduce the tables and figures of the zcache paper "
+        "(Sanchez & Kozyrakis, MICRO 2010).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "fig1", "fig2", "fig3", "fig4", "fig5",
+            "table1", "table2", "bandwidth", "merit", "buffering",
+            "conflict", "hashquality", "pressure", "roster",
+        ],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--instructions", type=int, default=6_000,
+        help="instructions per core per workload (default 6000)",
+    )
+    parser.add_argument(
+        "--workloads", type=str, default=None,
+        help="comma-separated workload subset (default: all 72)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--json", type=str, default=None, metavar="PATH",
+        help="also write structured results as JSON (simulation "
+        "experiments: fig3/fig4/fig5/bandwidth)",
+    )
+    parser.add_argument(
+        "--svg", type=str, default=None, metavar="DIR",
+        help="also render figures as SVG into DIR (fig2/fig3/fig4/fig5)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "roster":
+        from repro.workloads import WORKLOADS
+
+        for spec in WORKLOADS.values():
+            print(spec.describe())
+        return 0
+    if args.experiment == "fig1":
+        from repro.experiments import fig1
+
+        fig1.main()
+        return 0
+    if args.experiment == "fig2":
+        from repro.experiments import fig2
+
+        result = fig2.run()
+        for line in result.rows():
+            print(line)
+        if args.svg:
+            from repro.viz import fig2_svg
+
+            for path in fig2_svg(args.svg, result):
+                print(f"SVG written to {path}")
+        return 0
+    if args.experiment == "buffering":
+        from repro.experiments import buffering
+
+        buffering.main()
+        return 0
+    if args.experiment == "conflict":
+        from repro.experiments import conflict
+
+        conflict.main()
+        return 0
+    if args.experiment == "hashquality":
+        from repro.experiments import hashquality
+
+        hashquality.main()
+        return 0
+    if args.experiment == "pressure":
+        from repro.experiments import pressure
+
+        pressure.main()
+        return 0
+    if args.experiment == "table1":
+        from repro.experiments import table1
+
+        table1.main()
+        return 0
+    if args.experiment == "table2":
+        from repro.experiments import table2
+
+        table2.main()
+        return 0
+    if args.experiment == "merit":
+        from repro.experiments import merit
+
+        merit.main()
+        return 0
+
+    scale = _scale_from_args(args)
+    payload = None
+    if args.experiment == "fig3":
+        from repro.experiments import fig3
+
+        cells = fig3.run(scale=scale)
+        for cell in cells:
+            print(cell.row())
+        if args.svg:
+            from repro.viz import fig3_svg
+
+            for path in fig3_svg(args.svg, cells):
+                print(f"SVG written to {path}")
+        payload = [
+            {
+                "panel": c.panel,
+                "design": c.design,
+                "workload": c.workload,
+                "candidates": c.candidates,
+                **c.distribution.summary(),
+            }
+            for c in cells
+        ]
+    elif args.experiment == "fig4":
+        from repro.experiments import fig4
+
+        result = fig4.run(scale=scale)
+        for s in sorted(
+            result.series, key=lambda s: (s.metric, s.policy, s.design)
+        ):
+            print(s.row())
+        if args.svg:
+            from repro.viz import fig4_svg
+
+            for policy in {s.policy for s in result.series}:
+                for path in fig4_svg(args.svg, result, policy=policy):
+                    print(f"SVG written to {path}")
+        payload = [
+            {
+                "metric": s.metric,
+                "policy": s.policy,
+                "design": s.design,
+                "points": s.points,
+                "geomean": s.geomean(),
+            }
+            for s in result.series
+        ]
+    elif args.experiment == "fig5":
+        from repro.experiments import fig5
+
+        cells = fig5.run(scale=scale)
+        for cell in cells:
+            print(cell.row())
+        if args.svg:
+            from repro.viz import fig5_svg
+
+            for policy in {c.policy for c in cells}:
+                for path in fig5_svg(args.svg, cells, policy=policy):
+                    print(f"SVG written to {path}")
+        payload = [vars(c) for c in cells]
+    elif args.experiment == "bandwidth":
+        from repro.experiments import bandwidth
+
+        points = bandwidth.run(scale=scale)
+        for p in sorted(points, key=lambda p: p.misses_per_cycle_per_bank):
+            print(p.row())
+        payload = [vars(p) for p in points]
+    if args.json and payload is not None:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=1)
+        print(f"JSON written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Cache arrays and the cache controller.
+
+This package implements the paper's primary contribution — the
+:class:`~repro.core.zcache.ZCacheArray` with its breadth-first
+replacement walk — plus every array design the paper compares against:
+
+- :class:`~repro.core.setassoc.SetAssociativeArray` (optionally with a
+  hashed index, Section II-A),
+- :class:`~repro.core.skew.SkewAssociativeArray` (a zcache whose walk is
+  limited to one level, i.e. first-level candidates only),
+- :class:`~repro.core.fullyassoc.FullyAssociativeArray`,
+- :class:`~repro.core.randomcand.RandomCandidatesArray` (the analytical
+  device from Section IV-B that meets the uniformity assumption exactly).
+
+:class:`~repro.core.controller.Cache` glues an array to a replacement
+policy and keeps the statistics every experiment consumes.
+"""
+
+from repro.core.adaptive import AdaptiveZCache
+from repro.core.base import CacheArray, Candidate, CommitResult, Position, Replacement
+from repro.core.column import ColumnAssociativeCache
+from repro.core.controller import AccessResult, Cache, CacheStats
+from repro.core.fullyassoc import FullyAssociativeArray
+from repro.core.randomcand import RandomCandidatesArray
+from repro.core.setassoc import SetAssociativeArray
+from repro.core.skew import SkewAssociativeArray
+from repro.core.twophase import TwoPhaseZCache
+from repro.core.victim import VictimCache
+from repro.core.zcache import ZCacheArray, replacement_candidates
+
+__all__ = [
+    "Position",
+    "Candidate",
+    "Replacement",
+    "CommitResult",
+    "CacheArray",
+    "Cache",
+    "CacheStats",
+    "AccessResult",
+    "SetAssociativeArray",
+    "SkewAssociativeArray",
+    "ZCacheArray",
+    "TwoPhaseZCache",
+    "AdaptiveZCache",
+    "FullyAssociativeArray",
+    "RandomCandidatesArray",
+    "VictimCache",
+    "ColumnAssociativeCache",
+    "replacement_candidates",
+]

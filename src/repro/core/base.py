@@ -1,0 +1,248 @@
+"""Abstract cache array: lookup, replacement-candidate generation, commit.
+
+The controller/array split mirrors the paper's model (Section IV-A): the
+*array* owns block placement and produces a list of replacement
+candidates on a miss; the *replacement policy* owns the global eviction
+ordering. The array API is a two-phase replacement:
+
+1. :meth:`CacheArray.build_replacement` — collect candidates (for a
+   zcache this is the walk; for a set-associative cache, the set).
+2. :meth:`CacheArray.commit_replacement` — evict the chosen candidate,
+   perform any relocations, and install the incoming block.
+
+Positions are ``(way, index)`` pairs; storage is a dense per-way line
+array plus an address → position map kept exactly in sync.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterator, NamedTuple, Optional
+
+
+class Position(NamedTuple):
+    """A physical line location: way number and line index within it.
+
+    A NamedTuple rather than a dataclass: the zcache walk creates one
+    per tag read, and tuple construction/compare is measurably faster.
+    """
+
+    way: int
+    index: int
+
+
+@dataclass(slots=True)
+class Candidate:
+    """One replacement candidate produced by the array.
+
+    Attributes
+    ----------
+    position:
+        Where the candidate lives.
+    address:
+        Resident block address, or ``None`` if the slot is empty (the
+        incoming block chain can end here without evicting anything).
+    level:
+        Walk depth: 0 for first-level candidates. Equals the number of
+        relocations committing this candidate costs.
+    parent:
+        The walk-tree parent; ``None`` at level 0. Committing candidate
+        ``c`` moves ``c.parent``'s block into ``c.position``, and so on
+        up to the root, whose position receives the incoming block.
+    valid:
+        False if the ancestor path revisits a position (a walk repeat
+        that would corrupt relocation); such candidates must not be
+        chosen.
+    """
+
+    position: Position
+    address: Optional[int]
+    level: int = 0
+    parent: Optional["Candidate"] = None
+    valid: bool = True
+
+    def path_to_root(self) -> list["Candidate"]:
+        """Candidates from self up to (and including) the level-0 root."""
+        path = [self]
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            path.append(node)
+        return path
+
+
+@dataclass
+class Replacement:
+    """The outcome of a candidate-collection phase for one miss."""
+
+    incoming: int
+    candidates: list[Candidate] = field(default_factory=list)
+    tag_reads: int = 0
+    #: True when the walk stopped before reaching its configured depth
+    #: (candidate cap hit — the paper's bandwidth-pressure early stop).
+    truncated: bool = False
+    #: True when *every* resident block is a candidate (fully-associative
+    #: arrays). The candidate list may then be left empty; the controller
+    #: asks the policy for its global victim instead of enumerating.
+    exhaustive: bool = False
+
+    def usable(self) -> list[Candidate]:
+        """Candidates safe to commit (valid relocation paths)."""
+        return [c for c in self.candidates if c.valid]
+
+    def first_empty(self) -> Optional[Candidate]:
+        """Shallowest empty-slot candidate, or None.
+
+        Filling an empty slot needs no eviction; preferring the
+        shallowest one minimises relocations.
+        """
+        best: Optional[Candidate] = None
+        for cand in self.candidates:
+            if cand.address is None and cand.valid:
+                if best is None or cand.level < best.level:
+                    best = cand
+        return best
+
+
+@dataclass
+class CommitResult:
+    """What committing a replacement did."""
+
+    evicted: Optional[int]
+    relocations: int
+
+
+class CacheArray(abc.ABC):
+    """Base class owning block storage for ``num_ways x lines_per_way``."""
+
+    def __init__(self, num_ways: int, lines_per_way: int) -> None:
+        if num_ways < 1:
+            raise ValueError(f"num_ways must be >= 1, got {num_ways}")
+        if lines_per_way < 1:
+            raise ValueError(f"lines_per_way must be >= 1, got {lines_per_way}")
+        self.num_ways = num_ways
+        self.lines_per_way = lines_per_way
+        self.num_blocks = num_ways * lines_per_way
+        self._lines: list[list[Optional[int]]] = [
+            [None] * lines_per_way for _ in range(num_ways)
+        ]
+        self._pos: dict[int, Position] = {}
+
+    # -- storage primitives -------------------------------------------------
+    def _read(self, pos: Position) -> Optional[int]:
+        return self._lines[pos.way][pos.index]
+
+    def _write(self, pos: Position, address: Optional[int]) -> None:
+        old = self._lines[pos.way][pos.index]
+        if old is not None:
+            del self._pos[old]
+        self._lines[pos.way][pos.index] = address
+        if address is not None:
+            if address in self._pos:
+                raise RuntimeError(
+                    f"block {address:#x} would be duplicated in the array"
+                )
+            self._pos[address] = pos
+
+    # -- public interface ---------------------------------------------------
+    def lookup(self, address: int) -> Optional[Position]:
+        """Position of ``address`` if resident, else None."""
+        return self._pos.get(address)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._pos
+
+    def __len__(self) -> int:
+        """Number of resident blocks."""
+        return len(self._pos)
+
+    def resident(self) -> Iterator[int]:
+        """Iterate over resident block addresses."""
+        return iter(self._pos)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of lines holding a block."""
+        return len(self._pos) / self.num_blocks
+
+    def evict_address(self, address: int) -> None:
+        """Forcibly remove a block (invalidation / inclusion victim)."""
+        pos = self._pos.get(address)
+        if pos is None:
+            raise KeyError(f"evicting non-resident block {address:#x}")
+        self._lines[pos.way][pos.index] = None
+        del self._pos[address]
+
+    @abc.abstractmethod
+    def build_replacement(self, address: int) -> Replacement:
+        """Collect replacement candidates for an incoming block.
+
+        ``address`` must not be resident (that would be a hit).
+        """
+
+    def check_path(self, chosen: Candidate) -> None:
+        """Verify a walk path is still accurate (not stale).
+
+        The walk records (position, address) pairs; any interleaved
+        operation — an invalidation, or a second walk's relocations in
+        the two-phase controller — can move the recorded blocks. Every
+        node on the relocation path must still hold its recorded block,
+        or committing would corrupt the array.
+
+        Raises
+        ------
+        RuntimeError
+            If any node on the path went stale.
+        """
+        for node in chosen.path_to_root():
+            if self._read(node.position) != node.address:
+                raise RuntimeError(
+                    f"stale walk path: position {node.position} no longer "
+                    f"holds {node.address!r}"
+                )
+
+    def commit_replacement(self, repl: Replacement, chosen: Candidate) -> CommitResult:
+        """Evict ``chosen`` and relocate its ancestors to admit the block.
+
+        Works for every array type: in arrays without relocation
+        (set-associative), candidates are all level 0 and the loop body
+        never runs.
+        """
+        if not chosen.valid:
+            raise ValueError("cannot commit a candidate with an invalid path")
+        if repl.incoming in self._pos:
+            raise RuntimeError(f"incoming block {repl.incoming:#x} already resident")
+        self.check_path(chosen)
+        evicted = chosen.address
+        if evicted is not None:
+            self.evict_address(evicted)
+        relocations = 0
+        node = chosen
+        while node.parent is not None:
+            parent = node.parent
+            moving = parent.address
+            assert moving is not None, "internal walk nodes always hold a block"
+            self.evict_address(moving)
+            self._write(node.position, moving)
+            relocations += 1
+            node = parent
+        self._write(node.position, repl.incoming)
+        return CommitResult(evicted=evicted, relocations=relocations)
+
+    def check_invariants(self) -> None:
+        """Verify storage consistency (used by property-based tests)."""
+        seen: dict[int, Position] = {}
+        for way in range(self.num_ways):
+            for index in range(self.lines_per_way):
+                addr = self._lines[way][index]
+                if addr is None:
+                    continue
+                if addr in seen:
+                    raise AssertionError(
+                        f"block {addr:#x} stored at both {seen[addr]} and "
+                        f"({way},{index})"
+                    )
+                seen[addr] = Position(way, index)
+        if seen != self._pos:
+            raise AssertionError("position map out of sync with line storage")

@@ -1,0 +1,156 @@
+"""Column-associative cache (paper Section II-B, Agarwal & Pudar 1993).
+
+A direct-mapped cache where a block may live in one of two locations:
+its *primary* set (bit-selection index) or its *secondary* set (the
+index with the high bit flipped — the classic "rehash" function). A
+lookup probes the primary location first and, on mismatch, the
+secondary; a secondary hit swaps the two blocks so the hot one is found
+first next time. A per-line rehash bit records whether the resident
+block lives in its secondary location.
+
+Drawbacks the paper lists — variable hit latency, extra swaps, and being
+limited to two locations — are all observable through the statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class ColumnStats:
+    accesses: int = 0
+    first_probe_hits: int = 0
+    second_probe_hits: int = 0
+    misses: int = 0
+    swaps: int = 0
+    writebacks: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.first_probe_hits + self.second_probe_hits
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def mean_probes_per_access(self) -> float:
+        """Variable hit latency: 1 probe for primary hits, 2 otherwise."""
+        if not self.accesses:
+            return 0.0
+        second = self.second_probe_hits + self.misses
+        return (self.first_probe_hits + 2 * second) / self.accesses
+
+
+class ColumnAssociativeCache:
+    """Direct-mapped array with primary/secondary rehash locations."""
+
+    def __init__(self, num_lines: int) -> None:
+        if num_lines < 2 or num_lines & (num_lines - 1):
+            raise ValueError(
+                f"num_lines must be a power of two >= 2, got {num_lines}"
+            )
+        self.num_lines = num_lines
+        self.num_blocks = num_lines
+        self._lines: list[Optional[int]] = [None] * num_lines
+        self._rehash_bit: list[bool] = [False] * num_lines
+        self._dirty: set[int] = set()
+        self._flip = num_lines >> 1
+        self.stats = ColumnStats()
+
+    def primary_index(self, address: int) -> int:
+        """The block's home set (bit-selection index)."""
+        return address % self.num_lines
+
+    def secondary_index(self, address: int) -> int:
+        """The rehash location: home index with the top bit flipped."""
+        return self.primary_index(address) ^ self._flip
+
+    def __contains__(self, address: int) -> bool:
+        return (
+            self._lines[self.primary_index(address)] == address
+            or self._lines[self.secondary_index(address)] == address
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for line in self._lines if line is not None)
+
+    def _swap(self, i: int, j: int) -> None:
+        self._lines[i], self._lines[j] = self._lines[j], self._lines[i]
+        self.stats.swaps += 1
+
+    def _evict(self, index: int) -> Optional[int]:
+        victim = self._lines[index]
+        if victim is not None and victim in self._dirty:
+            self._dirty.remove(victim)
+            self.stats.writebacks += 1
+        self._lines[index] = None
+        self._rehash_bit[index] = False
+        return victim
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """One access; returns True on a hit (either probe)."""
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        self.stats.accesses += 1
+        primary = self.primary_index(address)
+        secondary = self.secondary_index(address)
+        if self._lines[primary] == address:
+            self.stats.first_probe_hits += 1
+            if is_write:
+                self._dirty.add(address)
+            return True
+        if self._lines[secondary] == address:
+            # Secondary hit: swap so the block is primary next time.
+            self.stats.second_probe_hits += 1
+            self._swap(primary, secondary)
+            # After the swap, `address` sits at `primary` (its home), and
+            # the displaced block sits at `secondary`, which is *its*
+            # rehash location.
+            self._rehash_bit[primary] = False
+            self._rehash_bit[secondary] = True
+            if is_write:
+                self._dirty.add(address)
+            return True
+
+        # Miss. Column-associative fill policy: if the primary slot
+        # holds a rehashed block (not in its own home), replace it;
+        # otherwise move the primary occupant to the secondary slot and
+        # claim the primary.
+        self.stats.misses += 1
+        if self._lines[primary] is None or self._rehash_bit[primary]:
+            self._evict(primary)
+            self._lines[primary] = address
+            self._rehash_bit[primary] = False
+        else:
+            self._evict(secondary)
+            self._swap(primary, secondary)
+            self._rehash_bit[secondary] = True
+            self._lines[primary] = address
+            self._rehash_bit[primary] = False
+        if is_write:
+            self._dirty.add(address)
+        return False
+
+    def check_invariants(self) -> None:
+        """Every resident block is at its primary or secondary index,
+        with the rehash bit matching."""
+        for index, block in enumerate(self._lines):
+            if block is None:
+                continue
+            home = self.primary_index(block)
+            alt = self.secondary_index(block)
+            if index == home:
+                assert not self._rehash_bit[index], (
+                    f"block {block:#x} at home with rehash bit set"
+                )
+            elif index == alt:
+                assert self._rehash_bit[index], (
+                    f"block {block:#x} rehashed without rehash bit"
+                )
+            else:
+                raise AssertionError(
+                    f"block {block:#x} at illegal index {index}"
+                )

@@ -1,0 +1,282 @@
+"""Cache controller: array + replacement policy + statistics.
+
+The controller implements the full access protocol the paper describes:
+
+- **Hit**: single lookup, policy notified (common case, no walk).
+- **Miss**: the array collects replacement candidates (the walk, for a
+  zcache). If a candidate slot is empty, the block fills it (relocating
+  as needed, no eviction). Otherwise the policy picks the victim among
+  the candidate addresses; the controller evicts it, performs the
+  relocations, and installs the incoming block.
+
+Write-allocate, write-back semantics: writes to non-resident blocks
+allocate; dirty blocks report a writeback when evicted or invalidated.
+Statistics cover everything the energy model and the bandwidth analysis
+(Section VI-D) need: tag/data array reads and writes, walk lengths,
+relocations, and writebacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.base import CacheArray, Candidate, Replacement
+from repro.replacement.base import ReplacementPolicy
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a single cache access."""
+
+    address: int
+    hit: bool
+    evicted: Optional[int] = None
+    writeback: bool = False
+    relocations: int = 0
+    filled_empty: bool = False
+    #: the block could not be installed because every replacement
+    #: candidate was pinned (see :meth:`Cache.pin`)
+    bypassed: bool = False
+
+
+@dataclass
+class CacheStats:
+    """Cumulative controller statistics.
+
+    Tag/data access counters follow the paper's energy accounting
+    (Section III-B): a hit reads the tag array once per way and the data
+    array once; a walk reads one tag per candidate; each relocation reads
+    and writes both tag and data; a fill writes tag and data once.
+    """
+
+    accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    fills_empty: int = 0
+    invalidations: int = 0
+    relocations: int = 0
+    #: misses that could not allocate because all candidates were pinned
+    pin_overflows: int = 0
+    walk_tag_reads: int = 0
+    tag_reads: int = 0
+    tag_writes: int = 0
+    data_reads: int = 0
+    data_writes: int = 0
+    #: eviction priorities recorded by an attached tracker (see
+    #: repro.assoc.measurement); empty unless measurement is enabled
+    eviction_priorities: list[float] = field(default_factory=list)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A cache: an array, a policy, and the glue between them.
+
+    Parameters
+    ----------
+    array:
+        Any :class:`~repro.core.base.CacheArray`.
+    policy:
+        Any :class:`~repro.replacement.base.ReplacementPolicy`. Wrap it
+        in :class:`~repro.assoc.measurement.TrackedPolicy` to record
+        eviction priorities.
+    name:
+        Label used in reports.
+    """
+
+    def __init__(
+        self, array: CacheArray, policy: ReplacementPolicy, name: str = "cache"
+    ) -> None:
+        self.array = array
+        self.policy = policy
+        self.name = name
+        self.stats = CacheStats()
+        self._dirty: set[int] = set()
+        self._pinned: set[int] = set()
+
+    # -- queries -------------------------------------------------------------
+    def __contains__(self, address: int) -> bool:
+        return address in self.array
+
+    def __len__(self) -> int:
+        return len(self.array)
+
+    def is_dirty(self, address: int) -> bool:
+        """True if the resident block has been written since install."""
+        return address in self._dirty
+
+    # -- pinning (paper Section I: TM / speculation / monitoring systems
+    # -- that buffer blocks in the cache and must not lose them) -----------
+    def pin(self, address: int) -> None:
+        """Exempt a resident block from eviction.
+
+        Pinned blocks may still be *relocated* by a zcache walk (they
+        stay cached, which is all pinning promises) but are never chosen
+        as victims. If a later miss finds every candidate pinned, the
+        incoming block bypasses the cache (``AccessResult.bypassed``) —
+        the overflow event that, in a TM system, triggers the fallback
+        path. High associativity makes this rare: that is the paper's
+        Section I motivation.
+        """
+        if self.array.lookup(address) is None:
+            raise KeyError(f"cannot pin non-resident block {address:#x}")
+        self._pinned.add(address)
+
+    def unpin(self, address: int) -> None:
+        """Remove a block's eviction exemption (no-op if not pinned)."""
+        self._pinned.discard(address)
+
+    def is_pinned(self, address: int) -> bool:
+        """True if the block is exempt from eviction."""
+        return address in self._pinned
+
+    @property
+    def pinned_count(self) -> int:
+        return len(self._pinned)
+
+    # -- the access protocol ---------------------------------------------------
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Perform one read or write access to ``address``."""
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        self.stats.accesses += 1
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+
+        if self.array.lookup(address) is not None:
+            self.stats.hits += 1
+            # Lookup: one tag read per way, one data read (the hit way).
+            self.stats.tag_reads += self.array.num_ways
+            if is_write:
+                self.stats.data_writes += 1
+                self._dirty.add(address)
+            else:
+                self.stats.data_reads += 1
+            self.policy.on_access(address, is_write)
+            return AccessResult(address=address, hit=True)
+
+        # Miss: the failed lookup read the tags; the walk's level-0 reads
+        # are those same reads, so tag accounting comes from the walk.
+        self.stats.misses += 1
+        result = self._fill(address)
+        if is_write and not result.bypassed:
+            self._dirty.add(address)
+        return result
+
+    def _fill(self, address: int) -> AccessResult:
+        repl = self.array.build_replacement(address)
+        self.stats.walk_tag_reads += repl.tag_reads
+        self.stats.tag_reads += repl.tag_reads
+
+        chosen = repl.first_empty()
+        evicted: Optional[int] = None
+        writeback = False
+        if chosen is None:
+            chosen = self._choose_victim(repl)
+            if chosen is None:
+                # Every candidate is pinned: the block bypasses the
+                # cache (the TM-style overflow event).
+                self.stats.pin_overflows += 1
+                return AccessResult(address=address, hit=False, bypassed=True)
+            evicted = chosen.address
+            assert evicted is not None
+            self.policy.on_evict(evicted)
+            self.stats.evictions += 1
+            if evicted in self._dirty:
+                self._dirty.remove(evicted)
+                self.stats.writebacks += 1
+                writeback = True
+        else:
+            self.stats.fills_empty += 1
+
+        commit = self.array.commit_replacement(repl, chosen)
+        self.stats.relocations += commit.relocations
+        # Each relocation reads and rewrites one block's tag and data;
+        # the final install writes the incoming block's tag and data.
+        self.stats.tag_writes += commit.relocations + 1
+        self.stats.data_reads += commit.relocations
+        self.stats.data_writes += commit.relocations + 1
+        self.policy.on_insert(address)
+        return AccessResult(
+            address=address,
+            hit=False,
+            evicted=evicted,
+            writeback=writeback,
+            relocations=commit.relocations,
+            filled_empty=evicted is None,
+        )
+
+    def _choose_victim(self, repl: Replacement) -> Optional[Candidate]:
+        """Let the policy pick among the usable candidates' addresses and
+        return the cheapest (shallowest) tree node holding that block.
+
+        Returns None when every candidate is pinned (caller bypasses).
+        """
+        if repl.exhaustive and not repl.candidates:
+            victim = self.policy.global_victim()
+            if victim is None or victim in self._pinned:
+                unpinned = [
+                    a for a in self.array.resident() if a not in self._pinned
+                ]
+                if not unpinned:
+                    return None
+                victim = self.policy.select_victim(unpinned)
+            pos = self.array.lookup(victim)
+            if pos is None:
+                raise RuntimeError(
+                    f"policy chose non-resident victim {victim:#x}"
+                )
+            return Candidate(position=pos, address=victim, level=0)
+        usable = repl.usable()
+        by_address: dict[int, Candidate] = {}
+        for cand in usable:
+            if cand.address is None or cand.address in self._pinned:
+                continue
+            prev = by_address.get(cand.address)
+            if prev is None or cand.level < prev.level:
+                by_address[cand.address] = cand
+        if not by_address:
+            if self._pinned:
+                return None
+            raise RuntimeError(
+                f"no usable replacement candidates for {repl.incoming:#x}"
+            )
+        victim = self.policy.select_victim(list(by_address))
+        return by_address[victim]
+
+    # -- external block removal ------------------------------------------------
+    def invalidate(self, address: int) -> bool:
+        """Remove a block (coherence or inclusion victim).
+
+        Returns True if the block was dirty (a writeback is required).
+        Missing blocks are tolerated — an invalidation can race an
+        eviction — and return False.
+        """
+        if self.array.lookup(address) is None:
+            return False
+        self.array.evict_address(address)
+        self.policy.on_evict(address)
+        self._pinned.discard(address)
+        self.stats.invalidations += 1
+        if address in self._dirty:
+            self._dirty.remove(address)
+            self.stats.writebacks += 1
+            return True
+        return False
+
+    def resident(self):
+        """Iterate over resident block addresses."""
+        return self.array.resident()

@@ -1,0 +1,67 @@
+"""Random-candidates cache (paper Section IV-B).
+
+An analytical device, not a buildable cache: blocks may live anywhere
+(fully-associative placement), and on a replacement the array returns
+``n`` slots drawn uniformly at random *with repetition* from the whole
+cache. Because each candidate is an unbiased, independent sample of the
+resident blocks, the eviction priorities E_i are i.i.d. uniform and the
+associativity distribution is exactly F_A(x) = x^n — the uniformity
+assumption made flesh. The repo uses it to validate the framework
+(tests/assoc) and as the reference line in the Fig. 3 reproduction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.base import CacheArray, Candidate, Position, Replacement
+
+
+class RandomCandidatesArray(CacheArray):
+    """Fully-associative placement, n uniformly random candidates."""
+
+    def __init__(self, num_blocks: int, num_candidates: int, seed: int = 0) -> None:
+        if num_blocks < 1:
+            raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
+        if num_candidates < 1:
+            raise ValueError(f"num_candidates must be >= 1, got {num_candidates}")
+        super().__init__(num_ways=1, lines_per_way=num_blocks)
+        self.num_candidates = num_candidates
+        self._rng = random.Random(seed)
+        self._free: set[int] = set(range(num_blocks))
+
+    def build_replacement(self, address: int) -> Replacement:
+        if address in self._pos:
+            raise RuntimeError(f"build_replacement for resident block {address:#x}")
+        repl = Replacement(incoming=address)
+        if self._free:
+            slot = min(self._free)
+            repl.candidates.append(
+                Candidate(position=Position(0, slot), address=None, level=0)
+            )
+            repl.tag_reads = 1
+            return repl
+        seen_positions: set[int] = set()
+        for _ in range(self.num_candidates):
+            slot = self._rng.randrange(self.lines_per_way)
+            pos = Position(0, slot)
+            cand = Candidate(position=pos, address=self._read(pos), level=0)
+            # Sampling is with repetition (paper); repeated draws stay in
+            # the candidate list but only one copy can be committed.
+            if slot in seen_positions:
+                cand.valid = False
+            seen_positions.add(slot)
+            repl.candidates.append(cand)
+            repl.tag_reads += 1
+        return repl
+
+    def commit_replacement(self, repl, chosen):
+        result = super().commit_replacement(repl, chosen)
+        self._free.discard(chosen.position.index)
+        return result
+
+    def evict_address(self, address: int) -> None:
+        pos = self._pos.get(address)
+        super().evict_address(address)
+        if pos is not None:
+            self._free.add(pos.index)

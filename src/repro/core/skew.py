@@ -1,0 +1,35 @@
+"""Skew-associative cache (Seznec 1993) as a one-level zcache.
+
+Structurally the zcache *is* a skew-associative cache — each way indexed
+by a different hash function — and on a replacement a skew cache
+considers exactly the W first-level candidates. The paper's Z4/4 design
+("4-way zcache with 4 replacement candidates") is this cache.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.zcache import ZCacheArray
+from repro.hashing.base import HashFunction
+
+
+class SkewAssociativeArray(ZCacheArray):
+    """A zcache whose walk is limited to the first level (no relocation)."""
+
+    def __init__(
+        self,
+        num_ways: int,
+        lines_per_way: int,
+        hash_kind: str = "h3",
+        hash_seed: int = 0,
+        hashes: Optional[Sequence[HashFunction]] = None,
+    ) -> None:
+        super().__init__(
+            num_ways,
+            lines_per_way,
+            levels=1,
+            hash_kind=hash_kind,
+            hash_seed=hash_seed,
+            hashes=hashes,
+        )

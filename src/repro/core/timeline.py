@@ -1,0 +1,151 @@
+"""Replacement-process timeline (paper Fig. 1g).
+
+The paper's worked example shows the walk's tag reads pipelining
+through the tag array, the relocations' data movement, and the whole
+process finishing well before the missing block returns from memory.
+This module schedules one replacement the same way:
+
+- walk level ``l`` issues ``W*(W-1)^l`` tag reads; levels pipeline, so
+  level l+1 starts once level l's *addresses* are known — after
+  ``max(T_tag, reads_in_level)`` cycles (paper Section III-B);
+- relocations then move ``m`` blocks (tag+data read, tag+data write),
+  serialised bottom-up;
+- the incoming block's fill completes the process.
+
+The scheduler returns discrete events so the experiment can print an
+ASCII timeline like Fig. 1g and tests can assert the T_walk formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: default latencies, in cycles, from the paper's example
+T_TAG_READ = 4
+T_TAG_WRITE = 4
+T_DATA_READ = 4
+T_DATA_WRITE = 4
+T_MEMORY = 100
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One scheduled operation."""
+
+    start: int
+    end: int
+    unit: str  # "tag", "data", or "mem"
+    label: str
+
+
+@dataclass
+class ReplacementTimeline:
+    events: list
+
+    @property
+    def walk_done(self) -> int:
+        walk = [e for e in self.events if e.label.startswith("walk")]
+        return max(e.end for e in walk) if walk else 0
+
+    @property
+    def process_done(self) -> int:
+        """When the replacement (walk + relocations) finishes.
+
+        The final install of the incoming block waits for memory by
+        definition and is not part of the replacement process the paper
+        times (its Fig. 1g "whole process finishes in 20 cycles").
+        """
+        cache_ops = [
+            e
+            for e in self.events
+            if e.unit != "mem" and e.label != "install incoming"
+        ]
+        return max(e.end for e in cache_ops) if cache_ops else 0
+
+    @property
+    def miss_served(self) -> int:
+        mem = [e for e in self.events if e.unit == "mem"]
+        return max(e.end for e in mem) if mem else 0
+
+    @property
+    def hidden(self) -> bool:
+        """True when the replacement finished under the memory latency —
+        the paper's off-the-critical-path claim."""
+        return self.process_done <= self.miss_served
+
+    def render(self, width: int = 60) -> list[str]:
+        """ASCII timeline, one row per event (Fig. 1g style)."""
+        horizon = max(self.process_done, self.miss_served)
+        scale = width / horizon if horizon else 1.0
+        rows = []
+        for e in sorted(self.events, key=lambda e: (e.start, e.unit)):
+            lo = int(e.start * scale)
+            hi = max(lo + 1, int(e.end * scale))
+            bar = " " * lo + "#" * (hi - lo)
+            rows.append(f"{e.label:24s} [{e.unit:4s}] {bar}")
+        rows.append(f"{'(cycles 0..' + str(horizon) + ')':24s}")
+        return rows
+
+
+def schedule_replacement(
+    ways: int,
+    levels: int,
+    relocations: int,
+    t_tag: int = T_TAG_READ,
+    t_data: int = T_DATA_READ,
+    t_mem: int = T_MEMORY,
+) -> ReplacementTimeline:
+    """Schedule one replacement's walk, relocations and fill.
+
+    ``relocations`` is the chosen victim's level (0..levels-1).
+    """
+    if ways < 1 or levels < 1:
+        raise ValueError("ways and levels must be >= 1")
+    if not 0 <= relocations <= levels - 1:
+        raise ValueError("relocations must be in [0, levels-1]")
+    events: list[TimelineEvent] = []
+    events.append(TimelineEvent(0, t_mem, "mem", "fetch missing block"))
+    # Walk: each way is its own tag array, issuing one read per cycle;
+    # level l needs (W-1)^l reads per way, and the next level starts
+    # once this level's last read resolves — so each level occupies
+    # max(T_tag, (W-1)^l) cycles (paper Section III-B's T_walk).
+    t = 0
+    for level in range(levels):
+        per_way = (ways - 1) ** level
+        total_reads = ways * per_way
+        duration = max(t_tag, per_way)
+        events.append(
+            TimelineEvent(
+                t, t + duration, "tag", f"walk level {level} ({total_reads}r)"
+            )
+        )
+        t += duration
+    # Relocations: deepest block's slot receives its parent, and so on;
+    # each move reads then writes tag+data (tag and data in parallel).
+    for move in range(relocations):
+        read_end = t + max(t_tag, t_data)
+        events.append(
+            TimelineEvent(t, read_end, "data", f"relocation {move + 1} read")
+        )
+        t = read_end
+        write_end = t + max(T_TAG_WRITE, T_DATA_WRITE)
+        events.append(
+            TimelineEvent(t, write_end, "data", f"relocation {move + 1} write")
+        )
+        t = write_end
+    # The fill happens when the line arrives (tag+data write).
+    fill_start = max(t, t_mem)
+    events.append(
+        TimelineEvent(
+            fill_start, fill_start + max(T_TAG_WRITE, T_DATA_WRITE),
+            "data", "install incoming",
+        )
+    )
+    return ReplacementTimeline(events=events)
+
+
+def walk_cycles(ways: int, levels: int, t_tag: int = T_TAG_READ) -> int:
+    """T_walk = sum over levels of max(T_tag, (W-1)^l) — Section III-B."""
+    if ways < 1 or levels < 1:
+        raise ValueError("ways and levels must be >= 1")
+    return sum(max(t_tag, (ways - 1) ** level) for level in range(levels))

@@ -1,0 +1,242 @@
+"""Two-phase BFS zcache controller (paper Section III-D).
+
+The hybrid "BFS+DFS" idea from the paper, in its BFS+BFS form: after the
+primary walk selects victim N, a *second* breadth-first walk rooted at
+N's alternative positions looks for somewhere to move N. The final
+eviction victim is the best block across both walks — roughly doubling
+the number of replacement candidates while reusing the same walk-table
+state, at the cost of a second walk's tag bandwidth.
+
+Commit order when the second phase wins:
+
+1. evict the phase-2 victim, relocate the phase-2 path, and move N into
+   the freed phase-2 root (N's own alternative position);
+2. N's old slot is now empty: relocate the phase-1 path into it and
+   install the incoming block at the phase-1 root.
+
+Phase-2 relocations can invalidate the recorded phase-1 path (a
+relocated block can land on a phase-1 ancestor position). The stale
+commit is detected by the array's consistency guard and handled by
+re-walking — the hardware equivalent of restarting the replacement,
+which the paper's controller also needs for its benign races.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import Candidate, Replacement
+from repro.core.controller import AccessResult, Cache
+from repro.core.zcache import ZCacheArray
+from repro.replacement.base import ReplacementPolicy
+
+
+class TwoPhaseZCache(Cache):
+    """A :class:`Cache` whose misses run the two-phase replacement."""
+
+    def __init__(
+        self, array: ZCacheArray, policy: ReplacementPolicy, name: str = "z2p"
+    ) -> None:
+        if not isinstance(array, ZCacheArray):
+            raise TypeError("TwoPhaseZCache requires a ZCacheArray")
+        super().__init__(array, policy, name=name)
+        self.second_phase_walks = 0
+        self.second_phase_wins = 0
+        self.stale_retries = 0
+
+    def _fill(self, address: int) -> AccessResult:
+        repl = self.array.build_replacement(address)
+        self.stats.walk_tag_reads += repl.tag_reads
+        self.stats.tag_reads += repl.tag_reads
+
+        empty = repl.first_empty()
+        if empty is not None:
+            return self._finish_fill(address, repl, empty, evicted=None)
+
+        node1 = self._choose_victim(repl)
+        if node1 is None:
+            self.stats.pin_overflows += 1
+            return AccessResult(address=address, hit=False, bypassed=True)
+        victim1 = node1.address
+        assert victim1 is not None
+
+        # Phase 2: can victim1 move somewhere better than being evicted?
+        repl2 = self.array.build_reinsertion(victim1)
+        self.second_phase_walks += 1
+        self.stats.walk_tag_reads += repl2.tag_reads
+        self.stats.tag_reads += repl2.tag_reads
+
+        phase2_choice = self._phase2_choice(repl2, victim1)
+        if phase2_choice is not None:
+            evicted2 = phase2_choice.address  # None = free slot found
+            try:
+                commit2 = self.array.commit_reinsertion(repl2, phase2_choice)
+            except RuntimeError:
+                # Stale phase-2 path; fall back to plain eviction.
+                self.stale_retries += 1
+                return self._plain_eviction(address, node1, victim1)
+            self.second_phase_wins += 1
+            self.stats.relocations += commit2.relocations
+            self.stats.tag_writes += commit2.relocations + 1
+            self.stats.data_reads += commit2.relocations
+            self.stats.data_writes += commit2.relocations + 1
+            if evicted2 is not None:
+                self.policy.on_evict(evicted2)
+                self.stats.evictions += 1
+                if evicted2 in self._dirty:
+                    self._dirty.remove(evicted2)
+                    self.stats.writebacks += 1
+            else:
+                self.stats.fills_empty += 1
+            # victim1's old position is free; land the incoming block
+            # through the phase-1 path (re-walk if phase 2 went stale).
+            return self._commit_phase1(address, repl, node1, evicted2)
+
+        return self._plain_eviction(address, node1, victim1)
+
+    # -- helpers ---------------------------------------------------------------
+    def _phase2_choice(
+        self, repl2: Replacement, victim1: int
+    ) -> Optional[Candidate]:
+        """Pick where victim1 should go, or None to just evict it.
+
+        A free slot always wins. Otherwise the policy compares victim1
+        against the best phase-2 candidate: if some phase-2 block is
+        more evictable than victim1, moving victim1 there is a win.
+        """
+        empty = repl2.first_empty()
+        if empty is not None:
+            return empty
+        by_address: dict[int, Candidate] = {}
+        for cand in repl2.usable():
+            if cand.address is None or cand.address == victim1:
+                continue
+            if cand.address in self._pinned:
+                continue
+            prev = by_address.get(cand.address)
+            if prev is None or cand.level < prev.level:
+                by_address[cand.address] = cand
+        if not by_address:
+            return None
+        choice = self.policy.select_victim([victim1, *by_address])
+        if choice == victim1:
+            return None
+        return by_address[choice]
+
+    def _plain_eviction(
+        self, address: int, node1: Candidate, victim1: int
+    ) -> AccessResult:
+        self.policy.on_evict(victim1)
+        self.stats.evictions += 1
+        writeback = False
+        if victim1 in self._dirty:
+            self._dirty.remove(victim1)
+            self.stats.writebacks += 1
+            writeback = True
+        repl = Replacement(incoming=address)
+        try:
+            commit = self.array.commit_replacement(repl, node1)
+        except RuntimeError:
+            # node1's path went stale (only possible after a phase-2
+            # commit attempt): re-walk and take the best fresh path.
+            self.stale_retries += 1
+            if victim1 in self.array:
+                self.array.evict_address(victim1)
+            fresh = self.array.build_replacement(address)
+            target = fresh.first_empty()
+            if target is None:
+                # victim1's slot is empty now, so a free slot must exist
+                # somewhere in the walk—but the walk may not reach it.
+                # Fall back to the shallowest valid candidate's position
+                # chain after evicting nothing further: re-walk found no
+                # empty ⇒ evict the best candidate normally.
+                node = self._choose_victim(fresh)
+                if node is None:
+                    # Everything reachable is pinned: drop the fill.
+                    self.stats.pin_overflows += 1
+                    return AccessResult(
+                        address=address, hit=False, bypassed=True
+                    )
+                extra = node.address
+                assert extra is not None
+                self.policy.on_evict(extra)
+                self.stats.evictions += 1
+                if extra in self._dirty:
+                    self._dirty.remove(extra)
+                    self.stats.writebacks += 1
+                target = node
+            commit = self.array.commit_replacement(fresh, target)
+        self.stats.relocations += commit.relocations
+        self.stats.tag_writes += commit.relocations + 1
+        self.stats.data_reads += commit.relocations
+        self.stats.data_writes += commit.relocations + 1
+        self.policy.on_insert(address)
+        return AccessResult(
+            address=address,
+            hit=False,
+            evicted=victim1,
+            writeback=writeback,
+            relocations=commit.relocations,
+        )
+
+    def _commit_phase1(
+        self, address: int, repl: Replacement, node1: Candidate, evicted2
+    ) -> AccessResult:
+        """Install the incoming block through the (now-empty) node1."""
+        freed = Candidate(
+            position=node1.position, address=None, level=node1.level,
+            parent=node1.parent,
+        )
+        try:
+            commit = self.array.commit_replacement(repl, freed)
+        except RuntimeError:
+            # A phase-2 relocation rewrote a phase-1 ancestor: re-walk.
+            self.stale_retries += 1
+            fresh = self.array.build_replacement(address)
+            target = fresh.first_empty()
+            if target is None:
+                node = self._choose_victim(fresh)
+                if node is None:
+                    # Everything reachable is pinned: drop the fill.
+                    self.stats.pin_overflows += 1
+                    return AccessResult(
+                        address=address, hit=False, bypassed=True
+                    )
+                extra = node.address
+                assert extra is not None
+                self.policy.on_evict(extra)
+                self.stats.evictions += 1
+                if extra in self._dirty:
+                    self._dirty.remove(extra)
+                    self.stats.writebacks += 1
+                target = node
+            commit = self.array.commit_replacement(fresh, target)
+        self.stats.relocations += commit.relocations
+        self.stats.tag_writes += commit.relocations + 1
+        self.stats.data_reads += commit.relocations
+        self.stats.data_writes += commit.relocations + 1
+        self.policy.on_insert(address)
+        return AccessResult(
+            address=address,
+            hit=False,
+            evicted=evicted2,
+            relocations=commit.relocations,
+        )
+
+    def _finish_fill(
+        self, address: int, repl: Replacement, chosen: Candidate, evicted
+    ) -> AccessResult:
+        self.stats.fills_empty += 1
+        commit = self.array.commit_replacement(repl, chosen)
+        self.stats.relocations += commit.relocations
+        self.stats.tag_writes += commit.relocations + 1
+        self.stats.data_reads += commit.relocations
+        self.stats.data_writes += commit.relocations + 1
+        self.policy.on_insert(address)
+        return AccessResult(
+            address=address,
+            hit=False,
+            evicted=evicted,
+            relocations=commit.relocations,
+            filled_empty=True,
+        )

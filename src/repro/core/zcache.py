@@ -1,0 +1,406 @@
+"""The zcache array (paper Section III).
+
+Each way is indexed by a different hash function; a block can live in
+exactly one position per way, so a hit costs a single W-way lookup — the
+latency and energy of a W-way cache. On a miss, the controller *walks*
+the tag array: the W first-level candidates' addresses are re-hashed
+with the other ways' functions, yielding up to W*(W-1) second-level
+candidates, and so on — a breadth-first expansion giving
+
+    R = W * sum_{l=0}^{L-1} (W-1)^l
+
+replacement candidates after L levels (Section III-B). Evicting a
+candidate at level ``l`` relocates its ``l`` ancestors (cuckoo-hashing
+style) so the incoming block lands at a level-0 position.
+
+Extensions implemented (Section III-D):
+
+- *Early stop*: ``candidate_limit`` truncates the walk, trading
+  associativity for tag bandwidth/energy.
+- *Repeat suppression*: ``repeat_filter="exact"`` stops expansion through
+  already-visited addresses with a precise set; ``"bloom"`` uses the
+  paper's Bloom filter (false positives prune a few legitimate paths,
+  which is safe — just fewer candidates).
+- *Walk strategy*: ``strategy="bfs"`` (paper default) or ``"dfs"``
+  (cuckoo-style single chain, more relocations per candidate).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.base import CacheArray, Candidate, Position, Replacement
+from repro.hashing.base import HashFunction, make_hash_family
+from repro.util.bloom import BloomFilter
+
+
+def replacement_candidates(num_ways: int, levels: int) -> int:
+    """Paper formula: R = W * sum_{l=0}^{L-1} (W-1)^l, assuming no repeats.
+
+    A one-level walk (L=1) is a skew-associative cache: R = W.
+    """
+    if num_ways < 1:
+        raise ValueError(f"num_ways must be >= 1, got {num_ways}")
+    if levels < 1:
+        raise ValueError(f"levels must be >= 1, got {levels}")
+    return num_ways * sum((num_ways - 1) ** l for l in range(levels))
+
+
+def expected_relocations(num_ways: int, levels: int) -> float:
+    """Expected relocations per replacement under the uniformity assumption.
+
+    If every candidate is equally likely to be the victim (exchangeable
+    priorities), the chosen level's distribution is proportional to the
+    level sizes, so E[m] = sum(l * W*(W-1)^l) / R. Real walks measure
+    slightly below this (repeats, free-slot endings, and the residual
+    candidate correlation all bias towards shallower commits).
+    """
+    r = replacement_candidates(num_ways, levels)
+    weighted = sum(
+        level * num_ways * (num_ways - 1) ** level for level in range(levels)
+    )
+    return weighted / r
+
+
+def levels_for_candidates(num_ways: int, target: int) -> int:
+    """Smallest walk depth L such that R(W, L) >= target."""
+    if target < 1:
+        raise ValueError(f"target must be >= 1, got {target}")
+    levels = 1
+    while replacement_candidates(num_ways, levels) < target:
+        if num_ways <= 2 and levels > target:
+            raise ValueError(
+                f"{num_ways}-way zcache cannot reach {target} candidates"
+            )
+        levels += 1
+    return levels
+
+
+@dataclass
+class WalkStats:
+    """Cumulative replacement-walk statistics."""
+
+    walks: int = 0
+    tag_reads: int = 0
+    candidates: int = 0
+    repeats: int = 0
+    truncated_walks: int = 0
+    relocations: int = 0
+    #: histogram of chosen-candidate levels (index = level)
+    level_hist: list[int] = field(default_factory=list)
+
+    def record_commit_level(self, level: int) -> None:
+        """Count one committed replacement at walk depth ``level``."""
+        while len(self.level_hist) <= level:
+            self.level_hist.append(0)
+        self.level_hist[level] += 1
+
+    @property
+    def mean_candidates_per_walk(self) -> float:
+        return self.candidates / self.walks if self.walks else 0.0
+
+    @property
+    def mean_relocations_per_walk(self) -> float:
+        return self.relocations / self.walks if self.walks else 0.0
+
+
+class ZCacheArray(CacheArray):
+    """A W-way zcache with an L-level replacement walk.
+
+    Parameters
+    ----------
+    num_ways:
+        Physical ways, each with its own hash function.
+    lines_per_way:
+        Lines per way (power of two).
+    levels:
+        Walk depth L. ``levels=1`` collects only first-level candidates,
+        i.e. behaves as a skew-associative cache.
+    hash_kind:
+        ``"h3"`` (paper default), ``"mix"`` or ``"bitsel"``.
+    hash_seed:
+        Seed for the hash family.
+    candidate_limit:
+        Optional cap on candidates collected; the walk stops early once
+        reached (bandwidth-pressure mode). ``None`` = full walk.
+    repeat_filter:
+        ``None`` (allow repeats, paper default for large caches),
+        ``"exact"`` or ``"bloom"``.
+    strategy:
+        ``"bfs"`` (paper default) or ``"dfs"`` (cuckoo-style chain whose
+        depth is chosen to examine a comparable number of candidates).
+    seed:
+        RNG seed for the DFS strategy's random chain choices.
+    """
+
+    def __init__(
+        self,
+        num_ways: int,
+        lines_per_way: int,
+        levels: int = 2,
+        hash_kind: str = "h3",
+        hash_seed: int = 0,
+        candidate_limit: Optional[int] = None,
+        repeat_filter: Optional[str] = None,
+        strategy: str = "bfs",
+        seed: int = 0,
+        hashes: Optional[Sequence[HashFunction]] = None,
+    ) -> None:
+        super().__init__(num_ways, lines_per_way)
+        if levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        if repeat_filter not in (None, "exact", "bloom"):
+            raise ValueError(f"unknown repeat_filter: {repeat_filter!r}")
+        if strategy not in ("bfs", "dfs"):
+            raise ValueError(f"unknown strategy: {strategy!r}")
+        if candidate_limit is not None and candidate_limit < num_ways:
+            raise ValueError(
+                f"candidate_limit must allow at least the {num_ways} "
+                f"first-level candidates"
+            )
+        self.levels = levels
+        self.candidate_limit = candidate_limit
+        self.repeat_filter = repeat_filter
+        self.strategy = strategy
+        if hashes is not None:
+            if len(hashes) != num_ways:
+                raise ValueError("need exactly one hash function per way")
+            self.hashes = list(hashes)
+        else:
+            self.hashes = make_hash_family(hash_kind, num_ways, lines_per_way, hash_seed)
+        self._rng = random.Random(seed)
+        self.stats = WalkStats()
+
+    # -- helpers -------------------------------------------------------------
+    def _home_positions(self, address: int) -> list[Position]:
+        """The W legal positions of a block: one per way."""
+        return [Position(w, self.hashes[w](address)) for w in range(self.num_ways)]
+
+    def nominal_candidates(self) -> int:
+        """R for this configuration, per the paper's formula."""
+        r = replacement_candidates(self.num_ways, self.levels)
+        if self.candidate_limit is not None:
+            r = min(r, self.candidate_limit)
+        return r
+
+    def _make_child(self, parent: Candidate, way: int) -> Candidate:
+        """Expand ``parent`` into ``way`` (one tag read)."""
+        assert parent.address is not None
+        pos = Position(way, self.hashes[way](parent.address))
+        resident = self._read(pos)
+        child = Candidate(
+            position=pos, address=resident, level=parent.level + 1, parent=parent
+        )
+        # A relocation path must not visit the same position twice; a
+        # repeat along the ancestor chain would corrupt the relocations.
+        # Walk depths are tiny, so an inline ancestor scan beats sets.
+        node = parent
+        while node is not None:
+            if node.position == pos:
+                child.valid = False
+                break
+            node = node.parent
+        return child
+
+    def _new_repeat_tracker(self, incoming: int):
+        if self.repeat_filter == "exact":
+            seen: set[int] = {incoming}
+            return seen
+        if self.repeat_filter == "bloom":
+            bloom = BloomFilter(num_bits=1024, num_hashes=2)
+            bloom.add(incoming)
+            return bloom
+        return None
+
+    # -- walk ----------------------------------------------------------------
+    def build_replacement(self, address: int) -> Replacement:
+        if address in self._pos:
+            raise RuntimeError(f"build_replacement for resident block {address:#x}")
+        repl = Replacement(incoming=address)
+        tracker = self._new_repeat_tracker(address)
+        seen_positions: set[Position] = set()
+
+        def note(cand: Candidate) -> bool:
+            """Record a candidate; return True if it was a repeat."""
+            repl.candidates.append(cand)
+            repl.tag_reads += 1
+            repeat = cand.position in seen_positions
+            if repeat:
+                self.stats.repeats += 1
+            seen_positions.add(cand.position)
+            if tracker is not None and cand.address is not None:
+                if cand.address in tracker:
+                    repeat = True
+                    self.stats.repeats += 1
+                else:
+                    tracker.add(cand.address)
+            return repeat
+
+        frontier: list[Candidate] = []
+        for way in range(self.num_ways):
+            pos = Position(way, self.hashes[way](address))
+            cand = Candidate(position=pos, address=self._read(pos), level=0)
+            repeat = note(cand)
+            if cand.address is not None and not (repeat and tracker is not None):
+                frontier.append(cand)
+
+        if self.strategy == "bfs":
+            self._walk_bfs(repl, frontier, note)
+        else:
+            self._walk_dfs(repl, frontier, note)
+
+        self.stats.walks += 1
+        self.stats.tag_reads += repl.tag_reads
+        self.stats.candidates += len(repl.candidates)
+        if repl.truncated:
+            self.stats.truncated_walks += 1
+        return repl
+
+    def build_reinsertion(self, address: int) -> Replacement:
+        """Walk for *re-inserting* a resident block elsewhere.
+
+        Used by the two-phase BFS extension (Section III-D): after the
+        primary walk picks victim N, a second walk rooted at N's
+        alternative positions finds somewhere to move N instead of
+        evicting it, doubling the candidate pool with no extra walk
+        state. Level 0 consists of N's W-1 other home positions.
+        """
+        pos = self._pos.get(address)
+        if pos is None:
+            raise RuntimeError(
+                f"build_reinsertion for non-resident block {address:#x}"
+            )
+        repl = Replacement(incoming=address)
+        tracker = self._new_repeat_tracker(address)
+        seen_positions: set[Position] = {pos}
+
+        def note(cand: Candidate) -> bool:
+            repl.candidates.append(cand)
+            repl.tag_reads += 1
+            repeat = cand.position in seen_positions
+            if repeat:
+                self.stats.repeats += 1
+            seen_positions.add(cand.position)
+            if tracker is not None and cand.address is not None:
+                if cand.address in tracker:
+                    repeat = True
+                    self.stats.repeats += 1
+                else:
+                    tracker.add(cand.address)
+            return repeat
+
+        frontier: list[Candidate] = []
+        for way in range(self.num_ways):
+            if way == pos.way:
+                continue
+            root = Position(way, self.hashes[way](address))
+            cand = Candidate(position=root, address=self._read(root), level=0)
+            repeat = note(cand)
+            if cand.address is not None and not (repeat and tracker is not None):
+                frontier.append(cand)
+        self._walk_bfs(repl, frontier, note)
+        self.stats.walks += 1
+        self.stats.tag_reads += repl.tag_reads
+        self.stats.candidates += len(repl.candidates)
+        return repl
+
+    def commit_reinsertion(self, repl: Replacement, chosen: Candidate):
+        """Move the (resident) block of ``repl.incoming`` into the slot
+        freed by evicting ``chosen``, relocating the path between them.
+
+        The block's old position is left empty for the caller (the
+        two-phase controller installs the original incoming block
+        there). The path is validated *before* the block is detached so
+        a stale path raises without mutating the array."""
+        self.check_path(chosen)
+        self.evict_address(repl.incoming)
+        return self.commit_replacement(repl, chosen)
+
+    def _at_limit(self, repl: Replacement) -> bool:
+        return (
+            self.candidate_limit is not None
+            and len(repl.candidates) >= self.candidate_limit
+        )
+
+    def _walk_bfs(self, repl: Replacement, frontier: list[Candidate], note) -> None:
+        """Breadth-first expansion, level by level (paper default)."""
+        for _level in range(1, self.levels):
+            next_frontier: list[Candidate] = []
+            for node in frontier:
+                if node.address is None:
+                    continue
+                for way in range(self.num_ways):
+                    if way == node.position.way:
+                        continue
+                    if self._at_limit(repl):
+                        repl.truncated = True
+                        return
+                    child = self._make_child(node, way)
+                    repeat = note(child)
+                    expandable = (
+                        child.valid
+                        and child.address is not None
+                        and not (repeat and self.repeat_filter is not None)
+                    )
+                    if expandable:
+                        next_frontier.append(child)
+            frontier = next_frontier
+            if not frontier:
+                return
+
+    def _walk_dfs(self, repl: Replacement, frontier: list[Candidate], note) -> None:
+        """Depth-first (cuckoo-style) walk.
+
+        One random level-0 candidate is displaced down a single chain.
+        The chain depth is chosen so the number of candidates examined is
+        comparable to the BFS configuration (L_dfs ~= R/W per the paper's
+        discussion), exposing DFS's higher relocation count.
+        """
+        target = replacement_candidates(self.num_ways, self.levels)
+        if self.candidate_limit is not None:
+            target = min(target, self.candidate_limit)
+        occupied = [c for c in frontier if c.address is not None and c.valid]
+        if not occupied:
+            return
+        node = self._rng.choice(occupied)
+        while len(repl.candidates) < target:
+            if node.address is None or not node.valid:
+                return
+            children: list[Candidate] = []
+            for way in range(self.num_ways):
+                if way == node.position.way:
+                    continue
+                if self._at_limit(repl) or len(repl.candidates) >= target:
+                    repl.truncated = self._at_limit(repl)
+                    break
+                child = self._make_child(node, way)
+                repeat = note(child)
+                if child.valid and not (repeat and self.repeat_filter is not None):
+                    children.append(child)
+            empties = [c for c in children if c.address is None]
+            if empties:
+                # The chain can terminate in a free slot; no point going on.
+                return
+            expandable = [c for c in children if c.address is not None]
+            if not expandable:
+                return
+            node = self._rng.choice(expandable)
+
+    def commit_replacement(self, repl, chosen):
+        result = super().commit_replacement(repl, chosen)
+        self.stats.relocations += result.relocations
+        self.stats.record_commit_level(chosen.level)
+        return result
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        # Every block must sit at the hash of its address for its way.
+        for addr, pos in self._pos.items():
+            expected = self.hashes[pos.way](addr)
+            if pos.index != expected:
+                raise AssertionError(
+                    f"block {addr:#x} at index {pos.index} of way {pos.way}, "
+                    f"but hashes to {expected}"
+                )

@@ -1,0 +1,34 @@
+"""Analytical timing / area / energy models (paper Section VI-A).
+
+The paper uses CACTI 6.5 (32 nm ITRS) for cache arrays and McPAT for the
+whole chip. Neither tool is available here, so :mod:`repro.energy`
+implements analytical stand-ins calibrated to the ratios the paper
+publishes from Table II:
+
+- 32-way vs. 4-way set-associative, serial lookup: 1.22x area,
+  1.23x hit latency, 2x hit energy;
+- parallel lookup: 1.32x hit latency, 3.3x hit energy;
+- a serial Z4/52 has ~1.3x the energy per miss of a 32-way SA cache
+  while keeping 4-way hit energy and latency;
+- L2 bank latencies spanning the 6-11 cycle range of Table I.
+
+The scaling *laws* (tag energy ∝ ways, data-array wire energy ∝ sqrt of
+capacity, parallel lookup activating all ways' data) are physical; the
+coefficients are fit to those anchors. A calibration test in
+``tests/energy`` asserts the anchors hold.
+"""
+
+from repro.energy.arrays import ArrayEnergy, ArrayModel, CacheGeometry
+from repro.energy.cachecost import CacheCostModel, CostRow, table2_rows
+from repro.energy.mcpat import ChipPowerModel, SystemEnergyReport
+
+__all__ = [
+    "CacheGeometry",
+    "ArrayModel",
+    "ArrayEnergy",
+    "CacheCostModel",
+    "CostRow",
+    "table2_rows",
+    "ChipPowerModel",
+    "SystemEnergyReport",
+]

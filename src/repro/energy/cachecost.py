@@ -1,0 +1,190 @@
+"""Cache cost model: Table II rows for any design.
+
+A :class:`CacheCostModel` wraps an :class:`~repro.energy.arrays.
+ArrayModel` and knows how a *design* (set-associative or zcache) uses the
+arrays per hit and per miss:
+
+- **hit**: W tag reads + data read (serial) or overlapped parallel read;
+- **SA miss**: the failed W-way lookup, the victim's data read (for
+  write-back), the fill writes, and the memory line transfer;
+- **zcache miss**: an R-candidate walk (R single-way tag reads), the
+  mean number of relocations (each a tag+data read+write), victim read,
+  fill writes, and the memory transfer.
+
+Energy per miss therefore follows the paper's Section III-B formula
+``E_miss = E_walk + E_relocs = R*E_rt + m*(E_rt + E_rd + E_wt + E_wd)``
+plus the common victim/fill/memory terms that both designs pay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.zcache import replacement_candidates
+from repro.energy.arrays import ArrayModel, CacheGeometry
+
+#: energy of transferring one 64 B line over the memory channel, nJ —
+#: paid on every miss by every design (common-mode term).
+E_MEMORY_LINE = 2.0
+
+
+@dataclass(frozen=True)
+class CostRow:
+    """One Table II row."""
+
+    design: str
+    lookup: str  # "serial" | "parallel"
+    ways: int
+    candidates: int
+    area_mm2: float
+    hit_latency_cycles: int
+    hit_energy_nj: float
+    miss_energy_nj: float
+
+    def format(self) -> str:
+        """One formatted Table II line."""
+        return (
+            f"{self.design:8s} {self.lookup:8s} W={self.ways:<3d} R={self.candidates:<3d} "
+            f"area={self.area_mm2:6.2f}mm2  lat={self.hit_latency_cycles:2d}cy  "
+            f"Ehit={self.hit_energy_nj:6.3f}nJ  Emiss={self.miss_energy_nj:6.3f}nJ"
+        )
+
+
+class CacheCostModel:
+    """Timing/area/energy for one cache design (one bank).
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Bank capacity.
+    ways:
+        Physical ways.
+    levels:
+        Walk depth; ``None`` or 1 means a conventional design with
+        candidates == ways (set-associative and skew-associative cost
+        the same per access).
+    parallel_lookup:
+        Lookup organisation.
+    mean_relocations:
+        Expected relocations per replacement (a zcache statistic; use
+        the simulated value, or the model default of half the maximum).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        ways: int,
+        levels: int | None = None,
+        parallel_lookup: bool = False,
+        mean_relocations: float | None = None,
+    ) -> None:
+        self.geometry = CacheGeometry(capacity_bytes, ways)
+        self.array = ArrayModel(self.geometry, parallel_lookup)
+        self.levels = levels if levels is not None else 1
+        if self.levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        self.parallel_lookup = parallel_lookup
+        self.candidates = replacement_candidates(ways, self.levels)
+        if mean_relocations is None:
+            mean_relocations = (self.levels - 1) / 2.0
+        if mean_relocations < 0 or mean_relocations > self.levels - 1 + 1e-9:
+            raise ValueError(
+                f"mean_relocations must be in [0, levels-1], got {mean_relocations}"
+            )
+        self.mean_relocations = mean_relocations
+
+    @property
+    def is_zcache(self) -> bool:
+        return self.levels > 1
+
+    def design_name(self) -> str:
+        """Paper-style label: SA-<W> or Z<W>/<R>."""
+        if self.is_zcache:
+            return f"Z{self.geometry.ways}/{self.candidates}"
+        return f"SA-{self.geometry.ways}"
+
+    # -- per-event energies --------------------------------------------------
+    def hit_energy(self) -> float:
+        """nJ per hit."""
+        return self.array.hit_energy()
+
+    def walk_energy(self, candidates: int | None = None) -> float:
+        """E_walk = R x E_rt (paper Section III-B)."""
+        r = self.candidates if candidates is None else candidates
+        return r * self.array.energies().tag_read
+
+    def relocation_energy(self) -> float:
+        """One relocation: read + rewrite one block's tag and data."""
+        return self.array.energies().relocation
+
+    def miss_energy(self, include_memory: bool = True) -> float:
+        """nJ per miss, including victim read, fill, and (optionally)
+        the memory line transfer."""
+        e = self.array.energies()
+        common = e.data_read + e.tag_write + e.data_write  # victim + fill
+        if include_memory:
+            common += E_MEMORY_LINE
+        if self.is_zcache:
+            return (
+                self.walk_energy()
+                + self.mean_relocations * self.relocation_energy()
+                + common
+            )
+        # Conventional lookup already read the W tags of the set.
+        return self.geometry.ways * e.tag_read + common
+
+    # -- roll-ups -----------------------------------------------------------------
+    def hit_latency_cycles(self) -> int:
+        """Bank hit latency in cycles."""
+        return self.array.hit_latency_cycles()
+
+    def area_mm2(self) -> float:
+        """Bank area in mm^2."""
+        return self.array.area_mm2()
+
+    def leakage_watts(self) -> float:
+        """Bank static power in watts."""
+        return self.array.leakage_watts()
+
+    def row(self) -> CostRow:
+        """This design's Table II row."""
+        return CostRow(
+            design=self.design_name(),
+            lookup="parallel" if self.parallel_lookup else "serial",
+            ways=self.geometry.ways,
+            candidates=self.candidates,
+            area_mm2=self.area_mm2(),
+            hit_latency_cycles=self.hit_latency_cycles(),
+            hit_energy_nj=self.hit_energy(),
+            miss_energy_nj=self.miss_energy(),
+        )
+
+
+def table2_rows(
+    capacity_bytes: int = 1 << 20, mean_relocations: float = 1.0
+) -> list[CostRow]:
+    """All Table II rows for one bank of the given capacity.
+
+    Set-associative designs at 4/8/16/32 ways and zcaches Z4/16 and
+    Z4/52 (two- and three-level walks), each in serial and parallel
+    lookup variants.
+    """
+    rows: list[CostRow] = []
+    for parallel in (False, True):
+        for ways in (4, 8, 16, 32):
+            rows.append(
+                CacheCostModel(
+                    capacity_bytes, ways, parallel_lookup=parallel
+                ).row()
+            )
+        for levels in (2, 3):
+            rows.append(
+                CacheCostModel(
+                    capacity_bytes,
+                    4,
+                    levels=levels,
+                    parallel_lookup=parallel,
+                    mean_relocations=min(mean_relocations, levels - 1),
+                ).row()
+            )
+    return rows

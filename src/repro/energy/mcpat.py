@@ -1,0 +1,148 @@
+"""McPAT-like system power roll-up: BIPS and BIPS/W (paper Fig. 5).
+
+The paper's CMP (Table I): 32 in-order Atom-class x86 cores at 2 GHz on
+32 nm, ~220 mm^2, ~90 W TDP. The model charges:
+
+- static power: per-core leakage + L2 leakage + uncore;
+- dynamic energy: per instruction (core pipeline), per L1 access, per L2
+  hit/miss/walk/relocation (from the :class:`~repro.energy.cachecost.
+  CacheCostModel`), and per memory access.
+
+``BIPS/W = (instructions / seconds) / watts / 1e9`` — the paper's
+energy-efficiency metric. Coefficients are chosen so the modelled chip
+lands near the published 90 W envelope under typical activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.cachecost import CacheCostModel
+
+CLOCK_HZ = 2_000_000_000
+
+# -- calibrated dynamic energies, nJ per event -------------------------------
+E_CORE_PER_INSTRUCTION = 0.12  # in-order pipeline + register file + clocking
+E_L1_ACCESS = 0.035
+E_MEMORY_ACCESS = 6.0  # DRAM activate/precharge + channel, per 64 B line
+#: portion of the per-miss memory energy attributed to the line transfer
+#: itself (also paid by writebacks).
+E_MEMORY_LINE_SHARE = 2.0
+
+# -- static power, W ----------------------------------------------------------
+P_CORE_STATIC = 0.9  # per core, high-performance process
+P_UNCORE_STATIC = 6.0  # NoC, MCs, clocking
+
+
+@dataclass(frozen=True)
+class SystemEnergyReport:
+    """Energy/performance roll-up for one simulation."""
+
+    instructions: int
+    cycles: int
+    num_cores: int
+    energy_joules: float
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / CLOCK_HZ
+
+    @property
+    def watts(self) -> float:
+        if self.seconds == 0:
+            return 0.0
+        return self.energy_joules / self.seconds
+
+    @property
+    def bips(self) -> float:
+        """Billions of instructions per second (aggregate)."""
+        if self.seconds == 0:
+            return 0.0
+        return self.instructions / self.seconds / 1e9
+
+    @property
+    def bips_per_watt(self) -> float:
+        if self.energy_joules == 0:
+            return 0.0
+        return self.instructions / 1e9 / self.energy_joules
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate IPC across all cores."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+
+class ChipPowerModel:
+    """Turns simulation activity counts into a system energy report.
+
+    Parameters
+    ----------
+    l2_cost:
+        Cost model of one L2 bank (all banks are identical).
+    num_cores:
+        Core count (Table I: 32).
+    num_banks:
+        L2 bank count (Table I: 8).
+    """
+
+    def __init__(
+        self, l2_cost: CacheCostModel, num_cores: int = 32, num_banks: int = 8
+    ) -> None:
+        if num_cores < 1 or num_banks < 1:
+            raise ValueError("num_cores and num_banks must be >= 1")
+        self.l2_cost = l2_cost
+        self.num_cores = num_cores
+        self.num_banks = num_banks
+
+    def static_watts(self) -> float:
+        """Chip static power: cores + L2 banks + uncore."""
+        return (
+            self.num_cores * P_CORE_STATIC
+            + self.num_banks * self.l2_cost.leakage_watts()
+            + P_UNCORE_STATIC
+        )
+
+    def report(
+        self,
+        instructions: int,
+        cycles: int,
+        l1_accesses: int,
+        l2_hits: int,
+        l2_misses: int,
+        l2_writebacks: int = 0,
+        walk_tag_reads: int = 0,
+        relocations: int = 0,
+    ) -> SystemEnergyReport:
+        """Roll activity counts up into total energy.
+
+        ``walk_tag_reads``/``relocations`` are the zcache replacement
+        activity; for a set-associative cache the miss's set read is
+        included in its per-miss energy and these stay 0.
+        """
+        if min(instructions, cycles, l1_accesses, l2_hits, l2_misses) < 0:
+            raise ValueError("activity counts must be non-negative")
+        e = self.l2_cost.array.energies()
+        dynamic_nj = (
+            instructions * E_CORE_PER_INSTRUCTION
+            + l1_accesses * E_L1_ACCESS
+            + l2_hits * self.l2_cost.hit_energy()
+            + l2_misses
+            * (e.data_read + e.tag_write + e.data_write)  # victim + fill
+            + l2_misses * E_MEMORY_LINE_SHARE
+            + l2_writebacks * E_MEMORY_LINE_SHARE
+            + walk_tag_reads * e.tag_read
+            + relocations * e.relocation
+        )
+        if not self.l2_cost.is_zcache:
+            # The failed set lookup on each miss.
+            dynamic_nj += l2_misses * self.l2_cost.geometry.ways * e.tag_read
+        dynamic_nj += l2_misses * (E_MEMORY_ACCESS - E_MEMORY_LINE_SHARE)
+        static_j = self.static_watts() * (cycles / CLOCK_HZ)
+        return SystemEnergyReport(
+            instructions=instructions,
+            cycles=cycles,
+            num_cores=self.num_cores,
+            energy_joules=static_j + dynamic_nj * 1e-9,
+        )

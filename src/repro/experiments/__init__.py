@@ -1,0 +1,37 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+Each module regenerates one artifact (see DESIGN.md's experiment index):
+
+================  ==========================================================
+module            paper artifact
+================  ==========================================================
+``fig2``          Fig. 2 — analytic associativity CDFs ``x^n``
+``fig3``          Fig. 3 — measured associativity distributions (4 designs)
+``table1``        Table I — simulated CMP configuration
+``table2``        Table II — area / latency / energy of cache designs
+``fig4``          Fig. 4 — per-workload MPKI and IPC improvements (OPT+LRU)
+``fig5``          Fig. 5 — IPC and BIPS/W, serial vs. parallel lookups
+``bandwidth``     Section VI-D — L2 tag-array bandwidth / self-throttling
+``merit``         Section III-B — figures of merit vs. simulated walks
+================  ==========================================================
+
+Every experiment accepts scaling knobs (instruction counts, workload
+subsets) so it can run as a quick bench or as the full reproduction; the
+defaults used for EXPERIMENTS.md are recorded there.
+"""
+
+from repro.experiments.runner import (
+    DESIGNS_FIG4,
+    ExperimentScale,
+    baseline_design,
+    representative_workloads,
+    run_design_sweep,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "baseline_design",
+    "DESIGNS_FIG4",
+    "representative_workloads",
+    "run_design_sweep",
+]

@@ -1,0 +1,115 @@
+"""Section IV's opening argument: why conflict misses fail as a metric.
+
+The paper replaces conflict-miss counting with the associativity
+distribution because the classic metric is (1) policy-dependent,
+(2) reference-stream-dependent, and (3) can go negative. This
+experiment demonstrates all three on synthetic traces, then shows the
+associativity distribution ranking the same designs cleanly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.assoc import classify_misses, compare_designs
+from repro.core import SetAssociativeArray, SkewAssociativeArray, ZCacheArray
+from repro.replacement import LFU, LRU, FIFO
+
+BLOCKS = 512
+
+
+def _designs():
+    return [
+        ("SA-4", 4, lambda: SetAssociativeArray(4, BLOCKS // 4)),
+        (
+            "SA-4h",
+            4,
+            lambda: SetAssociativeArray(4, BLOCKS // 4, hash_kind="h3", hash_seed=1),
+        ),
+        ("SK-4", 4, lambda: SkewAssociativeArray(4, BLOCKS // 4, hash_seed=2)),
+        ("Z4/16", 16, lambda: ZCacheArray(4, BLOCKS // 4, levels=2, hash_seed=3)),
+        ("Z4/52", 52, lambda: ZCacheArray(4, BLOCKS // 4, levels=3, hash_seed=4)),
+    ]
+
+
+def conflict_trace(n: int = 30_000, seed: int = 0):
+    """Hot-set conflicts over a background slightly above capacity."""
+    rng = random.Random(seed)
+    trace = []
+    for i in range(n):
+        if i % 2:
+            trace.append(((i // 2 % 64) * (BLOCKS // 4), False))
+        else:
+            trace.append((rng.randrange(BLOCKS), False))
+    return trace
+
+
+def anti_lru_trace(n: int = 20_000):
+    """Cyclic scan slightly over capacity: LRU's worst case."""
+    return [(i % (BLOCKS + 64), False) for i in range(n)]
+
+
+@dataclass
+class ConflictRow:
+    design: str
+    policy: str
+    trace: str
+    conflict: int
+    total: int
+
+    def row(self) -> str:
+        """One formatted report line."""
+        return (
+            f"{self.design:8s} {self.policy:5s} {self.trace:10s} "
+            f"conflict={self.conflict:6d} of {self.total:6d} misses"
+        )
+
+
+def run() -> tuple[list[ConflictRow], list[str]]:
+    """Return (conflict-decomposition rows, associativity report rows)."""
+    rows: list[ConflictRow] = []
+    traces = {"conflict": conflict_trace(), "anti-lru": anti_lru_trace()}
+    policies = {"lru": LRU, "fifo": FIFO, "lfu": LFU}
+    for trace_name, trace in traces.items():
+        for policy_name, policy in policies.items():
+            for design, _n, factory in _designs()[:3]:
+                d = classify_misses(factory, policy, trace)
+                rows.append(
+                    ConflictRow(
+                        design=design,
+                        policy=policy_name,
+                        trace=trace_name,
+                        conflict=d.conflict,
+                        total=d.total_misses,
+                    )
+                )
+    report = compare_designs(_designs(), LRU, conflict_trace())
+    return rows, report.rows()
+
+
+def main() -> None:
+    """Print the conflict-metric critique report."""
+    rows, report = run()
+    print("Conflict-miss decomposition (policy- and trace-dependent):")
+    for row in rows:
+        print("  " + row.row())
+    negative = [r for r in rows if r.conflict < 0]
+    print(
+        f"-> {len(negative)} design/policy/trace combinations show NEGATIVE "
+        "conflict misses (the paper's objection)."
+    )
+    print()
+    print("The associativity framework ranks the same designs cleanly:")
+    for line in report:
+        print("  " + line)
+    print(
+        "-> note the Z4/52's miss rate can EXCEED a worse array's here: "
+        "the trace is partially anti-LRU, so faithfully evicting the "
+        "global LRU block is the wrong call — exactly the paper's point "
+        "that the framework separates array quality from policy quality."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+"""Fig. 4: L2 MPKI and IPC improvements over the hashed SA-4 baseline.
+
+For every workload and both replacement policies (OPT in trace-driven
+mode, then LRU), each design's improvement over the baseline is
+computed; per design, workloads are sorted by improvement so every
+series is monotonically increasing — exactly how the paper plots them.
+
+Designs: SA-16, SA-32, Z4/4 (skew), Z4/16, Z4/52, all serial-lookup,
+baseline SA-4 with H3 hashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import (
+    DESIGNS_FIG4,
+    ExperimentScale,
+    run_design_sweep,
+)
+from repro.util.statistics import geometric_mean
+
+
+@dataclass
+class Fig4Series:
+    """One line in one panel: a design's sorted improvements."""
+
+    design: str
+    policy: str
+    metric: str  # "mpki" | "ipc"
+    #: (workload, improvement) sorted ascending by improvement
+    points: list
+
+    def values(self) -> list[float]:
+        """The sorted improvement values."""
+        return [v for _w, v in self.points]
+
+    def geomean(self) -> float:
+        """Geometric-mean improvement across workloads."""
+        return geometric_mean(self.values())
+
+    def row(self) -> str:
+        """One formatted summary line for this series."""
+        vals = self.values()
+        return (
+            f"{self.metric:4s} {self.policy:3s} {self.design:10s} "
+            f"min={vals[0]:.3f} med={vals[len(vals) // 2]:.3f} "
+            f"max={vals[-1]:.3f} geomean={self.geomean():.3f} "
+            f"worse-than-base={sum(1 for v in vals if v < 0.999)}/{len(vals)}"
+        )
+
+
+@dataclass
+class Fig4Result:
+    series: list
+    #: (workload, policy) -> {design: (mpki, ipc)}
+    raw: dict
+
+    def get(self, metric: str, policy: str, design: str) -> Fig4Series:
+        """Look up one series by metric, policy and design label."""
+        for s in self.series:
+            if (s.metric, s.policy, s.design) == (metric, policy, design):
+                return s
+        raise KeyError((metric, policy, design))
+
+
+def run(
+    scale: ExperimentScale = ExperimentScale(),
+    policies: tuple = ("opt", "lru"),
+) -> Fig4Result:
+    """Run the Fig. 4 sweep. The baseline is DESIGNS_FIG4[0]."""
+    base_label = DESIGNS_FIG4[0].label()
+    raw: dict = {}
+    per_design: dict = {}
+    for workload in scale.workload_names():
+        sweep = run_design_sweep(
+            workload, DESIGNS_FIG4, policies=policies, scale=scale
+        )
+        for policy in policies:
+            base = sweep.results[(base_label, policy)]
+            raw[(workload, policy)] = {}
+            for design in DESIGNS_FIG4:
+                res = sweep.results[(design.label(), policy)]
+                raw[(workload, policy)][design.label()] = (
+                    res.l2_mpki,
+                    res.aggregate_ipc,
+                )
+                if design.label() == base_label:
+                    continue
+                mpki_imp = (
+                    base.l2_mpki / res.l2_mpki if res.l2_mpki > 0 else 1.0
+                )
+                ipc_imp = (
+                    res.aggregate_ipc / base.aggregate_ipc
+                    if base.aggregate_ipc > 0
+                    else 1.0
+                )
+                per_design.setdefault(
+                    ("mpki", policy, design.label()), []
+                ).append((workload, mpki_imp))
+                per_design.setdefault(("ipc", policy, design.label()), []).append(
+                    (workload, ipc_imp)
+                )
+    series = [
+        Fig4Series(
+            design=design,
+            policy=policy,
+            metric=metric,
+            points=sorted(points, key=lambda p: p[1]),
+        )
+        for (metric, policy, design), points in per_design.items()
+    ]
+    return Fig4Result(series=series, raw=raw)
+
+
+def main() -> None:
+    """Print the Fig. 4 series summaries."""
+    result = run()
+    print("Fig.4: improvements over serial SA-4 (H3-hashed) baseline")
+    for metric in ("mpki", "ipc"):
+        for policy in ("opt", "lru"):
+            print(f"-- {metric.upper()} under {policy.upper()}:")
+            for s in sorted(
+                (s for s in result.series
+                 if s.metric == metric and s.policy == policy),
+                key=lambda s: s.design,
+            ):
+                print("   " + s.row())
+
+
+if __name__ == "__main__":
+    main()

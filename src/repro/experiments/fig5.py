@@ -1,0 +1,174 @@
+"""Fig. 5: IPC and energy efficiency, serial vs. parallel lookups.
+
+All results are normalised to the serial-lookup, H3-hashed 4-way
+set-associative baseline. For each design (serial and parallel variants
+of SA-4, SA-16, SA-32, Z4/4, Z4/16, Z4/52) and both policies, the
+experiment reports IPC and BIPS/W improvements for the paper's five
+representative applications plus the geometric means over the full
+roster and over the 10 workloads with the highest baseline L2 MPKI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.energy import CacheCostModel, ChipPowerModel
+from repro.experiments.runner import (
+    ExperimentScale,
+    baseline_design,
+    representative_workloads,
+    run_design_sweep,
+)
+from repro.sim import CMPConfig, L2DesignConfig
+from repro.sim.cmp import CMPResult
+from repro.util.statistics import geometric_mean
+
+
+def fig5_designs() -> list[L2DesignConfig]:
+    """The serial and parallel design matrix of Fig. 5."""
+    designs = []
+    for parallel in (False, True):
+        designs.append(baseline_design(parallel=parallel))
+        for ways in (16, 32):
+            designs.append(
+                L2DesignConfig(
+                    kind="sa", ways=ways, hash_kind="h3", parallel_lookup=parallel
+                )
+            )
+        designs.append(L2DesignConfig(kind="skew", ways=4, parallel_lookup=parallel))
+        for levels in (2, 3):
+            designs.append(
+                L2DesignConfig(
+                    kind="z", ways=4, levels=levels, parallel_lookup=parallel
+                )
+            )
+    return designs
+
+
+def energy_report(result: CMPResult, design: L2DesignConfig, cfg: CMPConfig):
+    """System energy for one simulation, via the McPAT-like model."""
+    bank_bytes = max(cfg.bank_blocks * cfg.line_bytes, 1 << 20)
+    walk_stats_mean = 1.0
+    if result.walk_tag_reads and result.l2_misses:
+        walk_stats_mean = result.relocations / max(result.l2_misses, 1)
+    cost = CacheCostModel(
+        bank_bytes,
+        design.ways,
+        levels=design.levels if design.kind == "z" else None,
+        parallel_lookup=design.parallel_lookup,
+        mean_relocations=min(walk_stats_mean, max(design.levels - 1, 0)),
+    )
+    chip = ChipPowerModel(cost, num_cores=cfg.num_cores, num_banks=cfg.l2_banks)
+    return chip.report(
+        instructions=result.total_instructions,
+        cycles=result.total_cycles,
+        l1_accesses=result.l1_accesses,
+        l2_hits=result.l2_hits,
+        l2_misses=result.l2_misses,
+        l2_writebacks=result.l2_writebacks,
+        walk_tag_reads=result.walk_tag_reads,
+        relocations=result.relocations,
+    )
+
+
+@dataclass
+class Fig5Cell:
+    design: str
+    policy: str
+    group: str  # workload name, "geomean-all", or "geomean-top10"
+    ipc_improvement: float
+    bips_per_watt_improvement: float
+
+    def row(self) -> str:
+        """One formatted report line."""
+        return (
+            f"{self.policy:3s} {self.design:11s} {self.group:16s} "
+            f"IPC x{self.ipc_improvement:5.3f}  "
+            f"BIPS/W x{self.bips_per_watt_improvement:5.3f}"
+        )
+
+
+def run(
+    scale: ExperimentScale = ExperimentScale(),
+    policies: tuple = ("lru",),
+    cfg: CMPConfig | None = None,
+) -> list[Fig5Cell]:
+    """Run the Fig. 5 sweep; one cell per design/policy/group."""
+    cfg = cfg or CMPConfig()
+    designs = fig5_designs()
+    base_label = baseline_design(parallel=False).label()
+    names = scale.workload_names()
+    # per (design,policy) -> workload -> (ipc_imp, eff_imp); plus base MPKIs
+    imps: dict = {}
+    base_mpki: dict = {}
+    for workload in names:
+        sweep = run_design_sweep(workload, designs, policies=policies, scale=scale)
+        for policy in policies:
+            base = sweep.results[(base_label, policy)]
+            base_energy = energy_report(base, baseline_design(), cfg)
+            base_mpki[(workload, policy)] = base.l2_mpki
+            for design in designs:
+                res = sweep.results[(design.label(), policy)]
+                rep = energy_report(res, design, cfg)
+                ipc_imp = (
+                    res.aggregate_ipc / base.aggregate_ipc
+                    if base.aggregate_ipc
+                    else 1.0
+                )
+                eff_imp = (
+                    rep.bips_per_watt / base_energy.bips_per_watt
+                    if base_energy.bips_per_watt
+                    else 1.0
+                )
+                imps.setdefault((design.label(), policy), {})[workload] = (
+                    ipc_imp,
+                    eff_imp,
+                )
+    cells: list[Fig5Cell] = []
+    reps = [w for w in representative_workloads() if w in names]
+    for policy in policies:
+        ranked = sorted(
+            names, key=lambda w: base_mpki[(w, policy)], reverse=True
+        )
+        top10 = ranked[: min(10, len(ranked))]
+        for design in designs:
+            per_wl = imps[(design.label(), policy)]
+            for w in reps:
+                cells.append(
+                    Fig5Cell(
+                        design=design.label(),
+                        policy=policy,
+                        group=w,
+                        ipc_improvement=per_wl[w][0],
+                        bips_per_watt_improvement=per_wl[w][1],
+                    )
+                )
+            for group, members in (
+                ("geomean-all", names),
+                ("geomean-top10", top10),
+            ):
+                cells.append(
+                    Fig5Cell(
+                        design=design.label(),
+                        policy=policy,
+                        group=group,
+                        ipc_improvement=geometric_mean(
+                            [per_wl[w][0] for w in members]
+                        ),
+                        bips_per_watt_improvement=geometric_mean(
+                            [per_wl[w][1] for w in members]
+                        ),
+                    )
+                )
+    return cells
+
+
+def main() -> None:
+    """Print the Fig. 5 improvement cells."""
+    print("Fig.5: IPC and BIPS/W vs serial SA-4h baseline")
+    for cell in run():
+        print(cell.row())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Shared experiment infrastructure: design lists, sweep runner, scaling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+from repro.sim import CMPConfig, L2DesignConfig, TraceDrivenRunner
+from repro.workloads import WORKLOADS, get_workload
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big to run an experiment.
+
+    ``instructions_per_core`` drives simulation length; ``workloads``
+    restricts the roster (None = all 72). Benches use small scales; the
+    EXPERIMENTS.md numbers use the defaults.
+    """
+
+    instructions_per_core: int = 6_000
+    workloads: Optional[tuple[str, ...]] = None
+    seed: int = 1
+
+    def workload_names(self) -> list[str]:
+        """The workload roster this scale covers."""
+        if self.workloads is None:
+            return list(WORKLOADS)
+        return list(self.workloads)
+
+
+def baseline_design(parallel: bool = False) -> L2DesignConfig:
+    """The paper's baseline: 4-way set-associative with H3 hashing."""
+    return L2DesignConfig(kind="sa", ways=4, hash_kind="h3", parallel_lookup=parallel)
+
+
+#: Fig. 4's design sweep (all serial lookup; the baseline comes first).
+DESIGNS_FIG4: tuple[L2DesignConfig, ...] = (
+    baseline_design(),
+    L2DesignConfig(kind="sa", ways=16, hash_kind="h3"),
+    L2DesignConfig(kind="sa", ways=32, hash_kind="h3"),
+    L2DesignConfig(kind="skew", ways=4),  # Z4/4
+    L2DesignConfig(kind="z", ways=4, levels=2),  # Z4/16
+    L2DesignConfig(kind="z", ways=4, levels=3),  # Z4/52
+)
+
+
+def representative_workloads() -> list[str]:
+    """Fig. 5's five representative applications."""
+    return ["blackscholes", "gamess", "cpu2K6rand0", "canneal", "cactusADM"]
+
+
+@dataclass
+class SweepResult:
+    """Results of one workload across several designs/policies."""
+
+    workload: str
+    #: (design label, policy) -> CMPResult
+    results: dict = field(default_factory=dict)
+
+
+def run_design_sweep(
+    workload_name: str,
+    designs: Iterable[L2DesignConfig],
+    policies: Iterable[str] = ("lru",),
+    scale: ExperimentScale = ExperimentScale(),
+    cfg: Optional[CMPConfig] = None,
+    policy_wrapper=None,
+) -> SweepResult:
+    """Capture a workload's L2 stream once, replay it per design/policy.
+
+    OPT policies are supported (the captured stream provides the future
+    trace). Returns a :class:`SweepResult` keyed by (design label,
+    policy name).
+    """
+    cfg = cfg or CMPConfig()
+    workload = get_workload(workload_name)
+    runner = TraceDrivenRunner(
+        cfg,
+        workload,
+        instructions_per_core=scale.instructions_per_core,
+        seed=scale.seed,
+    )
+    runner.capture()
+    sweep = SweepResult(workload=workload_name)
+    for design in designs:
+        for policy in policies:
+            design_cfg = cfg.with_design(replace(design, policy=policy))
+            result = runner.replay(design_cfg, policy_wrapper=policy_wrapper)
+            sweep.results[(design.label(), policy)] = result
+    return sweep
+
+
+def improvement(base: float, value: float) -> float:
+    """Fractional improvement as the paper plots it.
+
+    For MPKI: base/value (1.2 = 1.2x fewer misses). For IPC the caller
+    passes value/base instead.
+    """
+    if value == 0:
+        return float("inf") if base > 0 else 1.0
+    return base / value

@@ -1,0 +1,76 @@
+"""Common protocol for cache index hash functions.
+
+A hash function maps a block address (an arbitrary non-negative integer)
+to a line index in ``[0, num_lines)``. Implementations must be
+deterministic: the same address always maps to the same index, because a
+block's only valid position in a way is the hash of its address.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class HashFunction(abc.ABC):
+    """Deterministic map from block address to line index.
+
+    Parameters
+    ----------
+    num_lines:
+        Size of the index space. Must be a power of two (hardware indexes
+        are bit vectors) and at least 1.
+    """
+
+    def __init__(self, num_lines: int) -> None:
+        if num_lines < 1:
+            raise ValueError(f"num_lines must be >= 1, got {num_lines}")
+        if num_lines & (num_lines - 1):
+            raise ValueError(f"num_lines must be a power of two, got {num_lines}")
+        self.num_lines = num_lines
+        self.index_bits = num_lines.bit_length() - 1
+
+    @abc.abstractmethod
+    def __call__(self, address: int) -> int:
+        """Return the line index for ``address`` in ``[0, num_lines)``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(num_lines={self.num_lines})"
+
+
+def make_hash_family(
+    kind: str, num_ways: int, num_lines: int, seed: int = 0
+) -> list[HashFunction]:
+    """Build one independent hash function per way.
+
+    Parameters
+    ----------
+    kind:
+        ``"h3"``, ``"bitsel"`` or ``"mix"``.
+    num_ways:
+        Number of functions to create. Each receives a distinct seed so
+        the family members are pairwise independent (for ``"bitsel"``
+        every way necessarily uses the same index bits, as in a
+        conventional set-associative cache).
+    num_lines:
+        Lines per way.
+    seed:
+        Base seed; way ``w`` uses ``seed * 1000003 + w``.
+    """
+    from repro.hashing.bitsel import BitSelectHash
+    from repro.hashing.h3 import H3Hash
+    from repro.hashing.mixers import MixHash
+
+    if num_ways < 1:
+        raise ValueError(f"num_ways must be >= 1, got {num_ways}")
+    funcs: list[HashFunction] = []
+    for way in range(num_ways):
+        way_seed = seed * 1000003 + way
+        if kind == "h3":
+            funcs.append(H3Hash(num_lines, seed=way_seed))
+        elif kind == "bitsel":
+            funcs.append(BitSelectHash(num_lines))
+        elif kind == "mix":
+            funcs.append(MixHash(num_lines, seed=way_seed))
+        else:
+            raise ValueError(f"unknown hash kind: {kind!r}")
+    return funcs

@@ -1,0 +1,24 @@
+"""Bit-selection indexing: the conventional un-hashed set index.
+
+A set-associative cache without index hashing uses the low-order bits of
+the block address as the set index. Strided access patterns whose stride
+is a multiple of ``num_lines`` therefore all collide in one set — the
+pathology that hashing-based schemes avoid.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.base import HashFunction
+
+
+class BitSelectHash(HashFunction):
+    """Select the ``log2(num_lines)`` low-order bits of the address."""
+
+    def __init__(self, num_lines: int) -> None:
+        super().__init__(num_lines)
+        self._mask = num_lines - 1
+
+    def __call__(self, address: int) -> int:
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        return address & self._mask

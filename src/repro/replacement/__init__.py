@@ -1,0 +1,73 @@
+"""Replacement policies with a *global rank* interface.
+
+The paper's analytical framework (Section IV) models the replacement
+policy as maintaining a global ordering of all cached blocks by eviction
+preference. Every policy here exposes :meth:`~repro.replacement.base.
+ReplacementPolicy.score`: a value that is higher for blocks the policy
+would rather evict, stable between events affecting that block, and
+totally ordered across blocks. Victim selection picks the candidate with
+the highest score; the associativity instrumentation ranks the victim's
+score among all resident blocks.
+
+Policies
+--------
+- :class:`LRU` — full-timestamp LRU (paper Section III-E "Full LRU").
+- :class:`BucketedLRU` — n-bit timestamps bumped every k accesses
+  (Section III-E "Bucketed LRU", the policy used in the paper's
+  evaluation).
+- :class:`OptPolicy` — Belady's OPT, built from a future trace
+  (trace-driven mode, Section VI-B).
+- :class:`LFU`, :class:`FIFO`, :class:`RandomPolicy` — classic baselines.
+- :class:`SRRIP` — re-reference interval prediction, an example of the
+  set-ordering-free policies the paper cites as zcache-compatible.
+- :class:`NRU` — the reference-bit policy of the Itanium 2 /
+  UltraSPARC T2, which the paper cites as proof that commercial
+  processors already forgo per-set ordering.
+- :class:`TreePLRU` — per-set tree pseudo-LRU, the set-ordering policy
+  the paper notes zcaches *cannot* use; it binds to a set-associative
+  array and refuses anything else (so the limitation is executable).
+"""
+
+from repro.replacement.base import ReplacementPolicy
+from repro.replacement.lru import LRU, FIFO
+from repro.replacement.nru import NRU
+from repro.replacement.bucketed_lru import BucketedLRU
+from repro.replacement.lfu import LFU
+from repro.replacement.random_policy import RandomPolicy
+from repro.replacement.opt import OptPolicy
+from repro.replacement.plru import TreePLRU
+from repro.replacement.srrip import SRRIP
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRU",
+    "FIFO",
+    "BucketedLRU",
+    "LFU",
+    "RandomPolicy",
+    "OptPolicy",
+    "SRRIP",
+    "NRU",
+    "TreePLRU",
+    "make_policy",
+]
+
+
+def make_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Construct a policy by name (``lru``, ``bucketed-lru``, ``lfu``,
+    ``fifo``, ``random``, ``srrip``; OPT must be built from a trace)."""
+    registry = {
+        "lru": LRU,
+        "bucketed-lru": BucketedLRU,
+        "lfu": LFU,
+        "fifo": FIFO,
+        "random": RandomPolicy,
+        "srrip": SRRIP,
+        "nru": NRU,
+    }
+    if name not in registry:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(registry)} "
+            "(OPT is built with OptPolicy.from_trace)"
+        )
+    return registry[name](**kwargs)

@@ -1,0 +1,43 @@
+"""Least-frequently-used replacement.
+
+The paper's framework (Section IV-A) lists LFU as an example of a policy
+with a natural global ordering: blocks ranked by access frequency. Ties
+are broken by recency (least recent first) so the score is a total order.
+"""
+
+from __future__ import annotations
+
+from repro.replacement.base import ReplacementPolicy
+
+
+class LFU(ReplacementPolicy):
+    """Evict the block with the fewest accesses since insertion."""
+
+    def __init__(self) -> None:
+        self._counter = 0
+        self._freq: dict[int, int] = {}
+        self._stamp: dict[int, int] = {}
+
+    def on_insert(self, address: int) -> None:
+        if address in self._freq:
+            raise ValueError(f"block {address:#x} inserted twice")
+        self._counter += 1
+        self._freq[address] = 1
+        self._stamp[address] = self._counter
+
+    def on_access(self, address: int, is_write: bool = False) -> None:
+        if address not in self._freq:
+            raise KeyError(f"access to non-resident block {address:#x}")
+        self._counter += 1
+        self._freq[address] += 1
+        self._stamp[address] = self._counter
+
+    def on_evict(self, address: int) -> None:
+        if address not in self._freq:
+            raise KeyError(f"evicting non-resident block {address:#x}")
+        del self._freq[address]
+        del self._stamp[address]
+
+    def score(self, address: int) -> tuple[int, int]:
+        # Fewest accesses first; among equals, least recently touched.
+        return (-self._freq[address], -self._stamp[address])

@@ -1,0 +1,89 @@
+"""Full-timestamp LRU and FIFO.
+
+Paper Section III-E ("Full LRU"): a global counter is incremented on each
+access and copied into the accessed block's timestamp field; the
+replacement candidate with the lowest timestamp is evicted. In simulation
+we use unbounded Python integers, so wrap-around never occurs (the
+hardware-faithful n-bit variant is :class:`~repro.replacement.
+bucketed_lru.BucketedLRU` with ``bump_every=1``).
+"""
+
+from __future__ import annotations
+
+from repro.replacement.base import ReplacementPolicy
+
+
+class LRU(ReplacementPolicy):
+    """Least-recently-used via per-block global timestamps.
+
+    The timestamp dict is kept in recency order (oldest first) so the
+    global LRU block is available in O(1) for fully-associative arrays.
+    """
+
+    def __init__(self) -> None:
+        self._counter = 0
+        self._stamp: dict[int, int] = {}
+
+    def _touch(self, address: int) -> None:
+        self._counter += 1
+        # Re-inserting moves the key to the end: dict order == recency.
+        self._stamp.pop(address, None)
+        self._stamp[address] = self._counter
+
+    def global_victim(self) -> int | None:
+        return next(iter(self._stamp), None)
+
+    def on_insert(self, address: int) -> None:
+        if address in self._stamp:
+            raise ValueError(f"block {address:#x} inserted twice")
+        self._touch(address)
+
+    def on_access(self, address: int, is_write: bool = False) -> None:
+        if address not in self._stamp:
+            raise KeyError(f"access to non-resident block {address:#x}")
+        self._touch(address)
+
+    def on_evict(self, address: int) -> None:
+        try:
+            del self._stamp[address]
+        except KeyError:
+            raise KeyError(f"evicting non-resident block {address:#x}") from None
+
+    def score(self, address: int) -> int:
+        # Older (smaller) timestamps should be evicted first, so the
+        # score is the negated timestamp.
+        return -self._stamp[address]
+
+
+class FIFO(ReplacementPolicy):
+    """First-in first-out: timestamp at insertion only, never refreshed.
+
+    Insertion order of the dict is the eviction order, so the global
+    victim is O(1).
+    """
+
+    def __init__(self) -> None:
+        self._counter = 0
+        self._stamp: dict[int, int] = {}
+
+    def global_victim(self) -> int | None:
+        return next(iter(self._stamp), None)
+
+    def on_insert(self, address: int) -> None:
+        if address in self._stamp:
+            raise ValueError(f"block {address:#x} inserted twice")
+        self._counter += 1
+        self._stamp[address] = self._counter
+
+    def on_access(self, address: int, is_write: bool = False) -> None:
+        if address not in self._stamp:
+            raise KeyError(f"access to non-resident block {address:#x}")
+
+    def on_evict(self, address: int) -> None:
+        try:
+            del self._stamp[address]
+        except KeyError:
+            raise KeyError(f"evicting non-resident block {address:#x}") from None
+
+    def score(self, address: int) -> int:
+        return -self._stamp[address]

@@ -1,0 +1,71 @@
+"""Not-recently-used (NRU) replacement.
+
+The paper (Section III-E) notes that several processors already find
+per-set LRU ordering too expensive and "resort to policies that do not
+require it", citing the Itanium 2 and UltraSPARC T2 — both NRU
+variants. NRU keeps one reference bit per block: set on access, and
+when every block in the victim-search scope has its bit set, the scope's
+bits reset (here: the candidate set, the natural scope for a zcache).
+
+NRU's global order is weak (two classes), so ties are broken by a
+coarse insertion clock; the associativity framework still gets a total
+order via :meth:`score`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.replacement.base import ReplacementPolicy
+
+
+class NRU(ReplacementPolicy):
+    """One reference bit per block; victims come from the not-recent class."""
+
+    def __init__(self) -> None:
+        self._referenced: dict[int, bool] = {}
+        self._stamp: dict[int, int] = {}
+        self._counter = 0
+        self._changed: list[int] = []
+
+    def on_insert(self, address: int) -> None:
+        if address in self._referenced:
+            raise ValueError(f"block {address:#x} inserted twice")
+        self._counter += 1
+        self._referenced[address] = True
+        self._stamp[address] = self._counter
+
+    def on_access(self, address: int, is_write: bool = False) -> None:
+        if address not in self._referenced:
+            raise KeyError(f"access to non-resident block {address:#x}")
+        self._counter += 1
+        self._referenced[address] = True
+        self._stamp[address] = self._counter
+
+    def on_evict(self, address: int) -> None:
+        if address not in self._referenced:
+            raise KeyError(f"evicting non-resident block {address:#x}")
+        del self._referenced[address]
+        del self._stamp[address]
+
+    def score(self, address: int) -> tuple[int, int]:
+        # Not-referenced blocks first; within a class, older first.
+        return (0 if self._referenced[address] else 1, -self._stamp[address])
+
+    def select_victim(self, candidates: Sequence[int]) -> int:
+        if not candidates:
+            raise ValueError("select_victim called with no candidates")
+        unreferenced = [a for a in candidates if not self._referenced[a]]
+        if not unreferenced:
+            # Hardware clears the scope's bits and picks any member; we
+            # clear the candidates' bits (the zcache's natural scope).
+            for addr in set(candidates):
+                self._referenced[addr] = False
+                self._changed.append(addr)
+            unreferenced = list(candidates)
+        # Deterministic pick: the oldest-stamped unreferenced block.
+        return min(unreferenced, key=lambda a: self._stamp[a])
+
+    def drain_score_updates(self) -> list[int]:
+        out, self._changed = self._changed, []
+        return out

@@ -1,0 +1,102 @@
+"""Belady's OPT replacement, built from a future reference trace.
+
+The paper runs OPT in trace-driven mode (Section VI-B) to decouple
+associativity effects from replacement-policy effects: the victim is the
+candidate whose next reference is furthest in the future (never referenced
+again beats everything). In caches with cross-set interference — skew
+caches and zcaches — OPT is not strictly optimal, but remains a good
+heuristic (paper footnote 2).
+
+Implementation: pre-index each address's reference positions; keep a
+cursor per address advanced lazily as the replayed trace catches up.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.replacement.base import ReplacementPolicy
+
+#: Score of a block that is never referenced again.
+NEVER = math.inf
+
+
+class OptPolicy(ReplacementPolicy):
+    """Belady's optimal policy over a known future trace.
+
+    Build with :meth:`from_trace`, then replay *exactly* the same address
+    sequence through the cache: each ``on_insert``/``on_access`` consumes
+    one trace position.
+    """
+
+    def __init__(self, positions: dict[int, Sequence[int]], trace_length: int) -> None:
+        self._positions = {a: list(p) for a, p in positions.items()}
+        self._cursor: dict[int, int] = {a: 0 for a in self._positions}
+        self._trace_length = trace_length
+        self._now = -1  # index of the most recently replayed access
+        self._resident: set[int] = set()
+
+    @classmethod
+    def from_trace(cls, addresses: Iterable[int]) -> "OptPolicy":
+        """Index a trace of block addresses into an OPT policy."""
+        positions: dict[int, list[int]] = {}
+        n = 0
+        for i, addr in enumerate(addresses):
+            positions.setdefault(addr, []).append(i)
+            n = i + 1
+        return cls(positions, n)
+
+    @property
+    def trace_length(self) -> int:
+        """Number of accesses in the indexed trace."""
+        return self._trace_length
+
+    def _advance(self, address: int) -> None:
+        """Consume the trace position of this access."""
+        self._now += 1
+        if self._now >= self._trace_length:
+            raise RuntimeError(
+                "OPT replayed past the end of its trace "
+                f"({self._trace_length} accesses)"
+            )
+        plist = self._positions.get(address)
+        cur = self._cursor.get(address, 0)
+        if plist is None or cur >= len(plist) or plist[cur] != self._now:
+            raise RuntimeError(
+                f"OPT replay mismatch at position {self._now}: trace expects "
+                f"a different address than {address:#x}"
+            )
+        self._cursor[address] = cur + 1
+
+    def on_insert(self, address: int) -> None:
+        if address in self._resident:
+            raise ValueError(f"block {address:#x} inserted twice")
+        self._advance(address)
+        self._resident.add(address)
+
+    def on_access(self, address: int, is_write: bool = False) -> None:
+        if address not in self._resident:
+            raise KeyError(f"access to non-resident block {address:#x}")
+        self._advance(address)
+
+    def on_evict(self, address: int) -> None:
+        try:
+            self._resident.remove(address)
+        except KeyError:
+            raise KeyError(f"evicting non-resident block {address:#x}") from None
+
+    def next_use(self, address: int) -> float:
+        """Trace position of the next reference to ``address`` after now
+        (``math.inf`` if it is never referenced again)."""
+        plist = self._positions.get(address)
+        if plist is None:
+            return NEVER
+        cur = self._cursor.get(address, 0)
+        if cur >= len(plist):
+            return NEVER
+        return plist[cur]
+
+    def score(self, address: int) -> float:
+        # Furthest next use first; never-referenced-again is +inf.
+        return self.next_use(address)

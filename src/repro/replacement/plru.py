@@ -1,0 +1,163 @@
+"""Tree pseudo-LRU — the set-ordering policy zcaches *cannot* use.
+
+Section II-A: skew-associative caches (and therefore zcaches) "break
+the concept of a set, so they cannot use replacement policy
+implementations that rely on set ordering (e.g. using pseudo-LRU to
+approximate LRU)". This module makes that limitation concrete: a
+classic per-set tree-PLRU that binds to a set-associative array and
+*refuses* to bind to anything else.
+
+Mechanics: each set keeps W-1 tree bits. An access flips the bits on
+the root-to-leaf path to point *away* from the touched way; the victim
+is found by following the bits from the root. One bit per internal
+node ≈ 1 bit/block of state versus full LRU's log2(W!)/W — the cost
+argument for why real processors used it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.replacement.base import ReplacementPolicy
+
+
+class TreePLRU(ReplacementPolicy):
+    """Per-set tree pseudo-LRU bound to a set-associative array.
+
+    Parameters
+    ----------
+    array:
+        A :class:`~repro.core.setassoc.SetAssociativeArray` with a
+        power-of-two way count. The policy reads block positions from
+        it (PLRU state is positional, not address-based — exactly why
+        it needs sets).
+    """
+
+    def __init__(self, array) -> None:
+        from repro.core.setassoc import SetAssociativeArray
+
+        if not isinstance(array, SetAssociativeArray):
+            raise TypeError(
+                "TreePLRU requires a SetAssociativeArray: pseudo-LRU "
+                "state is per-set, and skew/z arrays have no sets "
+                "(paper Section II-A)"
+            )
+        ways = array.num_ways
+        if ways < 2 or ways & (ways - 1):
+            raise ValueError(
+                f"tree-PLRU needs a power-of-two way count >= 2, got {ways}"
+            )
+        self.array = array
+        self.ways = ways
+        self._levels = ways.bit_length() - 1
+        # W-1 tree bits per set, packed as an int: bit index = node id
+        # in heap order (root = 0). Bit value 0 = victim path goes left.
+        self._bits: list[int] = [0] * array.num_sets
+        self._counter = 0
+        self._stamp: dict[int, int] = {}
+
+    # -- tree mechanics -----------------------------------------------------
+    def _touch_way(self, set_index: int, way: int) -> None:
+        """Point every node on the way's path *away* from it."""
+        bits = self._bits[set_index]
+        node = 0
+        span = self.ways
+        lo = 0
+        for _ in range(self._levels):
+            span //= 2
+            go_right = way >= lo + span
+            if go_right:
+                lo += span
+                bits &= ~(1 << node)  # away = left
+                node = 2 * node + 2
+            else:
+                bits |= 1 << node  # away = right
+                node = 2 * node + 1
+        self._bits[set_index] = bits
+
+    def victim_way(self, set_index: int) -> int:
+        """Follow the tree bits from the root to the victim way."""
+        bits = self._bits[set_index]
+        node = 0
+        lo = 0
+        span = self.ways
+        for _ in range(self._levels):
+            span //= 2
+            if (bits >> node) & 1:  # 1 = victim on the right
+                lo += span
+                node = 2 * node + 2
+            else:
+                node = 2 * node + 1
+        return lo
+
+    def _eviction_order(self, set_index: int) -> list[int]:
+        """Ways in the order repeated PLRU evictions would pick them.
+
+        Used only to give the associativity framework a total order;
+        hardware never materialises this.
+        """
+        saved = self._bits[set_index]
+        order = []
+        for _ in range(self.ways):
+            way = self.victim_way(set_index)
+            order.append(way)
+            self._touch_way(set_index, way)
+        self._bits[set_index] = saved
+        return order
+
+    def _position(self, address: int):
+        pos = self.array.lookup(address)
+        if pos is None:
+            raise KeyError(f"block {address:#x} is not resident")
+        return pos
+
+    # -- policy interface ---------------------------------------------------
+    def on_insert(self, address: int) -> None:
+        if address in self._stamp:
+            raise ValueError(f"block {address:#x} inserted twice")
+        self._counter += 1
+        self._stamp[address] = self._counter
+        pos = self._position(address)
+        self._touch_way(pos.index, pos.way)
+
+    def on_access(self, address: int, is_write: bool = False) -> None:
+        if address not in self._stamp:
+            raise KeyError(f"access to non-resident block {address:#x}")
+        self._counter += 1
+        self._stamp[address] = self._counter
+        pos = self._position(address)
+        self._touch_way(pos.index, pos.way)
+
+    def on_evict(self, address: int) -> None:
+        if address not in self._stamp:
+            raise KeyError(f"evicting non-resident block {address:#x}")
+        del self._stamp[address]
+
+    def score(self, address: int) -> tuple[int, int]:
+        """PLRU rank within the set, recency-stamped across sets."""
+        pos = self._position(address)
+        rank = self._eviction_order(pos.index).index(pos.way)
+        # Earlier in the eviction order = higher preference.
+        return (self.ways - rank, -self._stamp[address])
+
+    def select_victim(self, candidates: Sequence[int]) -> int:
+        """The tree's victim; candidates must share one set."""
+        if not candidates:
+            raise ValueError("select_victim called with no candidates")
+        sets = {self._position(a).index for a in candidates}
+        if len(sets) != 1:
+            raise ValueError(
+                "tree-PLRU candidates span multiple sets — the policy "
+                "only defines an order within a set"
+            )
+        set_index = sets.pop()
+        way = self.victim_way(set_index)
+        by_way = {self._position(a).way: a for a in candidates}
+        if way in by_way:
+            return by_way[way]
+        # The tree's victim way is not among the candidates (partial
+        # set, e.g. invalidated lines): fall back to the eviction order.
+        for w in self._eviction_order(set_index):
+            if w in by_way:
+                return by_way[w]
+        raise AssertionError("unreachable: candidates must map to ways")

@@ -1,0 +1,39 @@
+"""Random replacement with a stable per-residency priority.
+
+Each block receives a random priority when it is inserted; the victim is
+the candidate with the highest priority. This is equivalent to uniform
+random victim selection but yields a *stable global ordering*, which the
+associativity framework requires (the eviction-priority rank of the
+victim is well defined).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.replacement.base import ReplacementPolicy
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform-random eviction via stable random priorities."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._priority: dict[int, float] = {}
+
+    def on_insert(self, address: int) -> None:
+        if address in self._priority:
+            raise ValueError(f"block {address:#x} inserted twice")
+        self._priority[address] = self._rng.random()
+
+    def on_access(self, address: int, is_write: bool = False) -> None:
+        if address not in self._priority:
+            raise KeyError(f"access to non-resident block {address:#x}")
+
+    def on_evict(self, address: int) -> None:
+        if address not in self._priority:
+            raise KeyError(f"evicting non-resident block {address:#x}")
+        del self._priority[address]
+
+    def score(self, address: int) -> float:
+        return self._priority[address]

@@ -1,0 +1,78 @@
+"""Static re-reference interval prediction (SRRIP, Jaleel et al. 2010).
+
+The paper cites RRIP as one of the "latest, highest-performing policies
+[that] do not rely on set ordering" (Section III-E) and therefore drop
+into a zcache unmodified. This is the candidate-local formulation:
+because a zcache has no sets, the aging sweep that normally bumps a
+set's RRPVs instead bumps the replacement candidates', which are the
+blocks the controller is holding in its walk table anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.replacement.base import ReplacementPolicy
+
+
+class SRRIP(ReplacementPolicy):
+    """SRRIP with M-bit re-reference prediction values (RRPVs).
+
+    - On insertion a block receives RRPV = 2^M - 2 ("long").
+    - On a hit its RRPV drops to 0 ("near-immediate") — hit priority.
+    - The victim is a candidate with RRPV = 2^M - 1 ("distant"); if no
+      candidate is distant, all candidates age (RRPV += deficit) first.
+    """
+
+    def __init__(self, m_bits: int = 2) -> None:
+        if m_bits < 1:
+            raise ValueError(f"m_bits must be >= 1, got {m_bits}")
+        self.m_bits = m_bits
+        self.rrpv_max = (1 << m_bits) - 1
+        self.rrpv_long = self.rrpv_max - 1
+        self._counter = 0
+        self._rrpv: dict[int, int] = {}
+        self._stamp: dict[int, int] = {}
+        self._changed: list[int] = []
+
+    def on_insert(self, address: int) -> None:
+        if address in self._rrpv:
+            raise ValueError(f"block {address:#x} inserted twice")
+        self._counter += 1
+        self._rrpv[address] = self.rrpv_long
+        self._stamp[address] = self._counter
+
+    def on_access(self, address: int, is_write: bool = False) -> None:
+        if address not in self._rrpv:
+            raise KeyError(f"access to non-resident block {address:#x}")
+        self._counter += 1
+        self._rrpv[address] = 0
+        self._stamp[address] = self._counter
+
+    def on_evict(self, address: int) -> None:
+        if address not in self._rrpv:
+            raise KeyError(f"evicting non-resident block {address:#x}")
+        del self._rrpv[address]
+        del self._stamp[address]
+
+    def score(self, address: int) -> tuple[int, int]:
+        # Higher RRPV first; ties broken towards the least recently
+        # touched block so the global order is total.
+        return (self._rrpv[address], -self._stamp[address])
+
+    def select_victim(self, candidates: Sequence[int]) -> int:
+        if not candidates:
+            raise ValueError("select_victim called with no candidates")
+        top = max(self._rrpv[a] for a in candidates)
+        deficit = self.rrpv_max - top
+        if deficit > 0:
+            # Age the candidates up so at least one is distant. These
+            # score changes happen outside on_* calls, so report them.
+            for addr in set(candidates):
+                self._rrpv[addr] += deficit
+                self._changed.append(addr)
+        return super().select_victim(list(candidates))
+
+    def drain_score_updates(self) -> list[int]:
+        out, self._changed = self._changed, []
+        return out

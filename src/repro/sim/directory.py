@@ -1,0 +1,96 @@
+"""MESI-style directory for the private L1s (paper Table I).
+
+The L2 is inclusive and keeps, per resident block, the set of cores
+whose L1 may hold a copy plus a single-owner dirty bit. The directory
+implements the transactions the simulator needs:
+
+- **fill**: a core's L1 acquires a copy (S, or M for a write fill);
+  a write fill invalidates all other sharers.
+- **upgrade**: a core writes a block it already shares; other sharers
+  are invalidated (the write-hit-to-Shared case).
+- **l1_eviction**: a sharer silently drops its copy.
+- **inclusion_invalidate**: the L2 evicted the block, so every L1 copy
+  must go (inclusion victims).
+
+Full MESI has more states than this matters for cache-miss statistics;
+E (exclusive-clean) is folded into S, which only forgoes the silent
+E->M upgrade — a timing nicety, not a correctness issue for MPKI/IPC at
+the L2 (documented substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DirectoryStats:
+    invalidations_sent: int = 0
+    upgrades: int = 0
+    write_fills: int = 0
+
+
+class Directory:
+    """Sharer tracking for an inclusive L2."""
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        self.num_cores = num_cores
+        self._sharers: dict[int, set[int]] = {}
+        self.stats = DirectoryStats()
+
+    def sharers(self, address: int) -> frozenset[int]:
+        """Cores that may hold the block in their L1."""
+        return frozenset(self._sharers.get(address, ()))
+
+    def is_shared(self, address: int) -> bool:
+        """True when more than one L1 may hold the block."""
+        return len(self._sharers.get(address, ())) > 1
+
+    def fill(self, address: int, core: int, is_write: bool) -> list[int]:
+        """A core's L1 fills the block; returns cores to invalidate."""
+        self._check_core(core)
+        holders = self._sharers.setdefault(address, set())
+        victims: list[int] = []
+        if is_write:
+            victims = [c for c in holders if c != core]
+            holders.clear()
+            self.stats.write_fills += 1
+            self.stats.invalidations_sent += len(victims)
+        holders.add(core)
+        return victims
+
+    def upgrade(self, address: int, core: int) -> list[int]:
+        """A sharer writes the block; returns other cores to invalidate."""
+        self._check_core(core)
+        holders = self._sharers.get(address)
+        if holders is None or core not in holders:
+            raise KeyError(
+                f"core {core} upgrading block {address:#x} it does not share"
+            )
+        victims = [c for c in holders if c != core]
+        if victims:
+            self.stats.upgrades += 1
+            self.stats.invalidations_sent += len(victims)
+        self._sharers[address] = {core}
+        return victims
+
+    def l1_eviction(self, address: int, core: int) -> None:
+        """A core's L1 dropped its copy (silent for clean lines)."""
+        self._check_core(core)
+        holders = self._sharers.get(address)
+        if holders is not None:
+            holders.discard(core)
+            if not holders:
+                del self._sharers[address]
+
+    def inclusion_invalidate(self, address: int) -> list[int]:
+        """L2 eviction: every L1 copy must be invalidated (inclusion)."""
+        holders = self._sharers.pop(address, set())
+        self.stats.invalidations_sent += len(holders)
+        return sorted(holders)
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core id {core} out of range")

@@ -1,0 +1,82 @@
+"""Counting-free Bloom filter.
+
+The paper (Section III-D) suggests inserting addresses visited during the
+replacement walk into a Bloom filter to avoid expanding repeated
+candidates in small caches/TLBs. This is that filter: ``k`` hash probes
+into an ``m``-bit vector, no deletions (the walk filter is cleared whole
+between replacements).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hashing.mixers import splitmix64
+
+
+class BloomFilter:
+    """Standard Bloom filter over non-negative integer keys.
+
+    Parameters
+    ----------
+    num_bits:
+        Size of the bit vector. Rounded up to a multiple of 64 internally.
+    num_hashes:
+        Number of probes per key. Defaults to the optimum for the
+        expected load if ``expected_items`` is given, else 2.
+    expected_items:
+        Optional sizing hint used only to pick ``num_hashes``.
+    """
+
+    def __init__(
+        self,
+        num_bits: int,
+        num_hashes: int | None = None,
+        expected_items: int | None = None,
+    ) -> None:
+        if num_bits < 1:
+            raise ValueError(f"num_bits must be >= 1, got {num_bits}")
+        self.num_bits = num_bits
+        if num_hashes is None:
+            if expected_items:
+                num_hashes = max(1, round(math.log(2) * num_bits / expected_items))
+            else:
+                num_hashes = 2
+        if num_hashes < 1:
+            raise ValueError(f"num_hashes must be >= 1, got {num_hashes}")
+        self.num_hashes = num_hashes
+        self._bits = 0
+        self._count = 0
+
+    def _probes(self, key: int):
+        # Kirsch-Mitzenmacher double hashing: h1 + i*h2 is as good as k
+        # independent hashes for Bloom filters.
+        h1 = splitmix64(key)
+        h2 = splitmix64(key ^ 0xDEADBEEFCAFEF00D) | 1
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, key: int) -> None:
+        """Insert ``key`` into the filter."""
+        for bit in self._probes(key):
+            self._bits |= 1 << bit
+        self._count += 1
+
+    def __contains__(self, key: int) -> bool:
+        return all((self._bits >> bit) & 1 for bit in self._probes(key))
+
+    def clear(self) -> None:
+        """Reset the filter to empty."""
+        self._bits = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        """Number of ``add`` calls since the last ``clear``."""
+        return self._count
+
+    def false_positive_rate(self) -> float:
+        """Theoretical false-positive probability at the current load."""
+        if self._count == 0:
+            return 0.0
+        k, m, n = self.num_hashes, self.num_bits, self._count
+        return (1.0 - math.exp(-k * n / m)) ** k

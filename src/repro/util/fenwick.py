@@ -1,0 +1,47 @@
+"""Fenwick (binary indexed) tree over integer positions.
+
+Used by the reuse-distance analyser: O(log n) point update and prefix
+sum make the classic Mattson stack-distance computation O(n log n).
+"""
+
+from __future__ import annotations
+
+
+class FenwickTree:
+    """Prefix sums over ``size`` integer slots (0-indexed API)."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = size
+        self._tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        """Add ``delta`` at ``index``."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} out of range [0, {self.size})")
+        i = index + 1
+        while i <= self.size:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of values in [0, index] (empty sum if index < 0)."""
+        if index >= self.size:
+            raise IndexError(f"index {index} out of range [0, {self.size})")
+        total = 0
+        i = index + 1
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of values in [lo, hi]."""
+        if lo > hi:
+            return 0
+        return self.prefix_sum(hi) - (self.prefix_sum(lo - 1) if lo > 0 else 0)
+
+    def total(self) -> int:
+        """Sum of all values."""
+        return self.prefix_sum(self.size - 1)

@@ -1,0 +1,25 @@
+"""Dependency-free figure rendering.
+
+The evaluation figures are line charts (CDFs, sorted improvement
+series). This package renders them as standalone SVG files with no
+third-party plotting dependency, so the repository can regenerate the
+paper's figures as actual images anywhere the library runs.
+
+- :mod:`repro.viz.svg` — a minimal SVG line-chart writer (axes, ticks,
+  legends, linear and log-y scales).
+- :mod:`repro.viz.figures` — glue turning experiment outputs into the
+  paper's figure layouts.
+"""
+
+from repro.viz.figures import fig2_svg, fig3_svg, fig4_svg, fig5_svg
+from repro.viz.svg import BarChart, LineChart, Series
+
+__all__ = [
+    "LineChart",
+    "BarChart",
+    "Series",
+    "fig2_svg",
+    "fig3_svg",
+    "fig4_svg",
+    "fig5_svg",
+]

@@ -1,0 +1,359 @@
+"""A minimal SVG line-chart writer.
+
+Supports exactly what the paper's figures need: multiple line series
+over a numeric x-axis, linear or logarithmic y-axis, axis ticks and
+labels, a legend, and dashed reference lines. Output is a standalone
+``<svg>`` document (no CSS, no scripts) renderable by any browser.
+
+Not a plotting library — a figure writer with deliberate limits. The
+coordinate math is exact and tested; aesthetics are fixed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+from xml.sax.saxutils import escape
+
+#: a qualitative palette (ColorBrewer Set1-ish), cycled across series
+PALETTE = (
+    "#e41a1c", "#377eb8", "#4daf4a", "#984ea3",
+    "#ff7f00", "#a65628", "#f781bf", "#555555",
+)
+
+
+@dataclass
+class Series:
+    """One line: a label and its (x, y) points."""
+
+    label: str
+    xs: Sequence[float]
+    ys: Sequence[float]
+    dashed: bool = False
+    color: Optional[str] = None
+
+    def __post_init__(self):
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.xs)} xs vs {len(self.ys)} ys"
+            )
+        if len(self.xs) < 1:
+            raise ValueError(f"series {self.label!r} has no points")
+
+
+@dataclass
+class LineChart:
+    """A single-panel line chart."""
+
+    title: str
+    x_label: str = ""
+    y_label: str = ""
+    width: int = 520
+    height: int = 340
+    log_y: bool = False
+    y_min: Optional[float] = None
+    y_max: Optional[float] = None
+    series: list = field(default_factory=list)
+
+    MARGIN_LEFT = 62
+    MARGIN_RIGHT = 12
+    MARGIN_TOP = 34
+    MARGIN_BOTTOM = 46
+
+    def add(self, series: Series) -> "LineChart":
+        """Append a series (chainable)."""
+        self.series.append(series)
+        return self
+
+    # -- scales ----------------------------------------------------------------
+    def _x_range(self) -> tuple[float, float]:
+        lo = min(min(s.xs) for s in self.series)
+        hi = max(max(s.xs) for s in self.series)
+        if lo == hi:
+            lo, hi = lo - 0.5, hi + 0.5
+        return lo, hi
+
+    def _y_range(self) -> tuple[float, float]:
+        lo = self.y_min
+        hi = self.y_max
+        if lo is None:
+            lo = min(min(s.ys) for s in self.series)
+        if hi is None:
+            hi = max(max(s.ys) for s in self.series)
+        if self.log_y:
+            positive = [
+                y for s in self.series for y in s.ys if y > 0
+            ]
+            if not positive:
+                raise ValueError("log-y chart needs positive values")
+            lo = self.y_min if self.y_min is not None else min(positive)
+            if lo <= 0:
+                raise ValueError("log-y lower bound must be positive")
+        if lo == hi:
+            lo, hi = lo - 0.5, hi + 0.5
+        return lo, hi
+
+    def _plot_box(self) -> tuple[float, float, float, float]:
+        return (
+            self.MARGIN_LEFT,
+            self.MARGIN_TOP,
+            self.width - self.MARGIN_RIGHT,
+            self.height - self.MARGIN_BOTTOM,
+        )
+
+    def x_to_px(self, x: float) -> float:
+        """Data x to pixel x (exposed for tests)."""
+        lo, hi = self._x_range()
+        x0, _, x1, _ = self._plot_box()
+        return x0 + (x - lo) / (hi - lo) * (x1 - x0)
+
+    def y_to_px(self, y: float) -> float:
+        """Data y to pixel y (exposed for tests)."""
+        lo, hi = self._y_range()
+        _, y0, _, y1 = self._plot_box()
+        if self.log_y:
+            y = math.log10(max(y, lo))
+            lo, hi = math.log10(lo), math.log10(hi)
+        frac = (y - lo) / (hi - lo)
+        return y1 - frac * (y1 - y0)
+
+    # -- ticks -----------------------------------------------------------------
+    def _linear_ticks(self, lo: float, hi: float, count: int = 6) -> list[float]:
+        span = hi - lo
+        step = 10 ** math.floor(math.log10(span / max(count - 1, 1)))
+        for mult in (1, 2, 2.5, 5, 10):
+            if span / (step * mult) <= count:
+                step *= mult
+                break
+        first = math.ceil(lo / step) * step
+        ticks = []
+        t = first
+        while t <= hi + 1e-12:
+            ticks.append(round(t, 10))
+            t += step
+        return ticks
+
+    def _y_ticks(self) -> list[float]:
+        lo, hi = self._y_range()
+        if not self.log_y:
+            return self._linear_ticks(lo, hi)
+        lo_exp = math.floor(math.log10(lo))
+        hi_exp = math.ceil(math.log10(hi))
+        return [10.0**e for e in range(lo_exp, hi_exp + 1)]
+
+    # -- rendering --------------------------------------------------------------
+    def render(self) -> str:
+        """The chart as a standalone SVG document string."""
+        if not self.series:
+            raise ValueError("chart has no series")
+        x0, y0, x1, y1 = self._plot_box()
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2:.1f}" y="18" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="13" font-weight="bold">'
+            f"{escape(self.title)}</text>",
+            f'<rect x="{x0}" y="{y0}" width="{x1 - x0}" height="{y1 - y0}" '
+            'fill="none" stroke="#222" stroke-width="1"/>',
+        ]
+        # ticks
+        xlo, xhi = self._x_range()
+        for t in self._linear_ticks(xlo, xhi):
+            px = self.x_to_px(t)
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{y1}" x2="{px:.1f}" y2="{y1 + 4}" '
+                'stroke="#222"/>'
+            )
+            parts.append(
+                f'<text x="{px:.1f}" y="{y1 + 16}" text-anchor="middle" '
+                f'font-family="sans-serif" font-size="10">{t:g}</text>'
+            )
+        for t in self._y_ticks():
+            py = self.y_to_px(t)
+            if not y0 - 1 <= py <= y1 + 1:
+                continue
+            parts.append(
+                f'<line x1="{x0 - 4}" y1="{py:.1f}" x2="{x0}" y2="{py:.1f}" '
+                'stroke="#222"/>'
+            )
+            label = f"{t:.0e}" if self.log_y else f"{t:g}"
+            parts.append(
+                f'<text x="{x0 - 7}" y="{py + 3:.1f}" text-anchor="end" '
+                f'font-family="sans-serif" font-size="10">{label}</text>'
+            )
+            parts.append(
+                f'<line x1="{x0}" y1="{py:.1f}" x2="{x1}" y2="{py:.1f}" '
+                'stroke="#ddd" stroke-width="0.5"/>'
+            )
+        # axis labels
+        if self.x_label:
+            parts.append(
+                f'<text x="{(x0 + x1) / 2:.1f}" y="{self.height - 8}" '
+                'text-anchor="middle" font-family="sans-serif" '
+                f'font-size="11">{escape(self.x_label)}</text>'
+            )
+        if self.y_label:
+            cx, cy = 14, (y0 + y1) / 2
+            parts.append(
+                f'<text x="{cx}" y="{cy:.1f}" text-anchor="middle" '
+                f'font-family="sans-serif" font-size="11" '
+                f'transform="rotate(-90 {cx} {cy:.1f})">'
+                f"{escape(self.y_label)}</text>"
+            )
+        # series
+        for i, s in enumerate(self.series):
+            color = s.color or PALETTE[i % len(PALETTE)]
+            pts = " ".join(
+                f"{self.x_to_px(x):.1f},{self.y_to_px(y):.1f}"
+                for x, y in zip(s.xs, s.ys)
+            )
+            dash = ' stroke-dasharray="5,4"' if s.dashed else ""
+            parts.append(
+                f'<polyline points="{pts}" fill="none" stroke="{color}" '
+                f'stroke-width="1.6"{dash}/>'
+            )
+        # legend
+        lx, ly = x0 + 8, y0 + 6
+        for i, s in enumerate(self.series):
+            color = s.color or PALETTE[i % len(PALETTE)]
+            yy = ly + 13 * i
+            dash = ' stroke-dasharray="5,4"' if s.dashed else ""
+            parts.append(
+                f'<line x1="{lx}" y1="{yy + 4}" x2="{lx + 18}" y2="{yy + 4}" '
+                f'stroke="{color}" stroke-width="1.6"{dash}/>'
+            )
+            parts.append(
+                f'<text x="{lx + 22}" y="{yy + 8}" font-family="sans-serif" '
+                f'font-size="10">{escape(s.label)}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        """Write the SVG document to ``path``."""
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.render())
+
+
+@dataclass
+class BarChart:
+    """Grouped bar chart (for the Fig. 5-style per-group comparisons).
+
+    ``groups`` are x-axis categories; each series contributes one bar
+    per group. The y-axis is linear, with an optional reference line
+    (Fig. 5 draws y = 1.0, the baseline).
+    """
+
+    title: str
+    groups: Sequence[str] = ()
+    y_label: str = ""
+    width: int = 640
+    height: int = 340
+    reference: Optional[float] = None
+    series: list = field(default_factory=list)
+
+    MARGIN_LEFT = 58
+    MARGIN_RIGHT = 12
+    MARGIN_TOP = 34
+    MARGIN_BOTTOM = 66
+
+    def add(self, label: str, values: Sequence[float]) -> "BarChart":
+        """Append one series: one value per group (chainable)."""
+        if len(values) != len(self.groups):
+            raise ValueError(
+                f"series {label!r}: {len(values)} values for "
+                f"{len(self.groups)} groups"
+            )
+        self.series.append((label, list(values)))
+        return self
+
+    def _y_range(self) -> tuple[float, float]:
+        values = [v for _l, vs in self.series for v in vs]
+        if self.reference is not None:
+            values.append(self.reference)
+        lo = min(0.0, min(values))
+        hi = max(values)
+        if hi == lo:
+            hi = lo + 1.0
+        return lo, hi * 1.05
+
+    def render(self) -> str:
+        """The chart as a standalone SVG document string."""
+        if not self.series:
+            raise ValueError("chart has no series")
+        if not self.groups:
+            raise ValueError("chart has no groups")
+        x0 = self.MARGIN_LEFT
+        y0 = self.MARGIN_TOP
+        x1 = self.width - self.MARGIN_RIGHT
+        y1 = self.height - self.MARGIN_BOTTOM
+        lo, hi = self._y_range()
+
+        def y_px(v: float) -> float:
+            return y1 - (v - lo) / (hi - lo) * (y1 - y0)
+
+        group_w = (x1 - x0) / len(self.groups)
+        bar_w = group_w * 0.8 / len(self.series)
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2:.1f}" y="18" text-anchor="middle" '
+            'font-family="sans-serif" font-size="13" font-weight="bold">'
+            f"{escape(self.title)}</text>",
+            f'<rect x="{x0}" y="{y0}" width="{x1 - x0}" height="{y1 - y0}" '
+            'fill="none" stroke="#222"/>',
+        ]
+        for gi, group in enumerate(self.groups):
+            gx = x0 + gi * group_w
+            for si, (_label, values) in enumerate(self.series):
+                bx = gx + group_w * 0.1 + si * bar_w
+                v = values[gi]
+                top = y_px(max(v, 0.0))
+                bottom = y_px(min(v, 0.0))
+                parts.append(
+                    f'<rect x="{bx:.1f}" y="{top:.1f}" width="{bar_w:.1f}" '
+                    f'height="{max(bottom - top, 0.5):.1f}" '
+                    f'fill="{PALETTE[si % len(PALETTE)]}"/>'
+                )
+            cx = gx + group_w / 2
+            parts.append(
+                f'<text x="{cx:.1f}" y="{y1 + 12}" text-anchor="end" '
+                'font-family="sans-serif" font-size="9" '
+                f'transform="rotate(-35 {cx:.1f} {y1 + 12})">'
+                f"{escape(group)}</text>"
+            )
+        if self.reference is not None:
+            ry = y_px(self.reference)
+            parts.append(
+                f'<line x1="{x0}" y1="{ry:.1f}" x2="{x1}" y2="{ry:.1f}" '
+                'stroke="#000" stroke-dasharray="4,3"/>'
+            )
+        if self.y_label:
+            cx, cy = 14, (y0 + y1) / 2
+            parts.append(
+                f'<text x="{cx}" y="{cy:.1f}" text-anchor="middle" '
+                'font-family="sans-serif" font-size="11" '
+                f'transform="rotate(-90 {cx} {cy:.1f})">'
+                f"{escape(self.y_label)}</text>"
+            )
+        lx, ly = x0 + 6, y0 + 6
+        for si, (label, _values) in enumerate(self.series):
+            yy = ly + 12 * si
+            parts.append(
+                f'<rect x="{lx}" y="{yy}" width="10" height="8" '
+                f'fill="{PALETTE[si % len(PALETTE)]}"/>'
+            )
+            parts.append(
+                f'<text x="{lx + 14}" y="{yy + 7}" font-family="sans-serif" '
+                f'font-size="9">{escape(label)}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        """Write the SVG document to ``path``."""
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.render())

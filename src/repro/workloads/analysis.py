@@ -1,0 +1,117 @@
+"""Trace analysis: reuse distances, working sets, miss-rate curves.
+
+These are the classic single-pass characterisations used to reason
+about where a workload sits relative to a cache's capacity — the
+knowledge the synthetic proxies in :mod:`repro.workloads.suites` are
+tuned with, exposed as a library so users can characterise their own
+traces.
+
+The LRU *stack distance* of an access is the number of distinct blocks
+touched since the previous access to the same block. For a
+fully-associative LRU cache of capacity C, an access hits iff its stack
+distance is < C — so one histogram yields the entire miss-rate-vs-size
+curve (Mattson et al. 1970).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.util.fenwick import FenwickTree
+
+#: stack distance reported for first-ever references
+COLD = -1
+
+
+def stack_distances(addresses: Iterable[int]) -> list[int]:
+    """LRU stack distance per access (``COLD`` for first references).
+
+    O(n log n) via a Fenwick tree over access times.
+    """
+    trace = list(addresses)
+    n = len(trace)
+    if n == 0:
+        return []
+    tree = FenwickTree(n)
+    last_seen: dict[int, int] = {}
+    out: list[int] = []
+    for t, addr in enumerate(trace):
+        prev = last_seen.get(addr)
+        if prev is None:
+            out.append(COLD)
+        else:
+            # Distinct blocks touched since prev = marked slots in
+            # (prev, t): each block's most-recent access is marked.
+            out.append(tree.range_sum(prev + 1, t - 1) if t - prev > 1 else 0)
+            tree.add(prev, -1)
+        tree.add(t, 1)
+        last_seen[addr] = t
+    return out
+
+
+@dataclass
+class ReuseProfile:
+    """Summary of a trace's reuse behaviour."""
+
+    accesses: int
+    footprint: int
+    histogram: Counter  # stack distance -> count (COLD bucketed too)
+
+    @property
+    def cold_misses(self) -> int:
+        return self.histogram.get(COLD, 0)
+
+    def miss_rate_at(self, capacity: int) -> float:
+        """Fully-associative LRU miss rate at ``capacity`` blocks.
+
+        An access misses iff it is cold or its stack distance >=
+        capacity (the Mattson inclusion property).
+        """
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if self.accesses == 0:
+            return 0.0
+        misses = self.cold_misses + sum(
+            count
+            for dist, count in self.histogram.items()
+            if dist != COLD and dist >= capacity
+        )
+        return misses / self.accesses
+
+    def miss_rate_curve(self, capacities: Sequence[int]) -> list[float]:
+        """Miss rate at each capacity (one histogram, many cache sizes)."""
+        return [self.miss_rate_at(c) for c in capacities]
+
+    def median_reuse_distance(self) -> float:
+        """Median stack distance over re-references (cold excluded)."""
+        dists: list[int] = []
+        for dist, count in sorted(self.histogram.items()):
+            if dist == COLD:
+                continue
+            dists.extend([dist] * count)
+        if not dists:
+            return float("inf")
+        return float(dists[len(dists) // 2])
+
+
+def reuse_profile(addresses: Iterable[int]) -> ReuseProfile:
+    """Compute a trace's :class:`ReuseProfile` in one pass."""
+    trace = list(addresses)
+    hist = Counter(stack_distances(trace))
+    return ReuseProfile(
+        accesses=len(trace), footprint=len(set(trace)), histogram=hist
+    )
+
+
+def working_set_curve(
+    addresses: Iterable[int], window: int
+) -> list[int]:
+    """Distinct blocks per consecutive window of ``window`` accesses."""
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    trace = list(addresses)
+    return [
+        len(set(trace[i : i + window])) for i in range(0, len(trace), window)
+    ]

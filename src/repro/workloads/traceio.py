@@ -1,0 +1,87 @@
+"""Trace file I/O.
+
+A minimal, durable interchange format so captured streams can be saved,
+inspected, shared, and replayed: one access per line,
+
+    <gap> <address-hex> <r|w>
+
+with ``#``-prefixed comment/header lines. ``.gz`` paths are compressed
+transparently. Round-trips :class:`~repro.workloads.spec.CoreAccess`
+records exactly.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.workloads.spec import CoreAccess
+
+FORMAT_VERSION = 1
+
+
+def _open(path, mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
+def save_trace(path, accesses: Iterable[CoreAccess], comment: str = "") -> int:
+    """Write accesses to ``path``; returns the number written."""
+    count = 0
+    with _open(path, "w") as f:
+        f.write(f"# repro-trace v{FORMAT_VERSION}\n")
+        if comment:
+            for line in comment.splitlines():
+                f.write(f"# {line}\n")
+        for acc in accesses:
+            if acc.gap < 0 or acc.address < 0:
+                raise ValueError(f"invalid access record: {acc}")
+            f.write(f"{acc.gap} {acc.address:x} {'w' if acc.is_write else 'r'}\n")
+            count += 1
+    return count
+
+
+def load_trace(path) -> Iterator[CoreAccess]:
+    """Stream accesses back from ``path``.
+
+    Raises
+    ------
+    ValueError
+        On malformed lines (with the line number).
+    """
+    with _open(path, "r") as f:
+        yield from parse_trace(f)
+
+
+def parse_trace(lines: Iterable[str]) -> Iterator[CoreAccess]:
+    """Parse the trace format from an iterable of lines."""
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3 or parts[2] not in ("r", "w"):
+            raise ValueError(f"malformed trace line {lineno}: {line!r}")
+        try:
+            gap = int(parts[0])
+            address = int(parts[1], 16)
+        except ValueError:
+            raise ValueError(
+                f"malformed trace line {lineno}: {line!r}"
+            ) from None
+        if gap < 0 or address < 0:
+            raise ValueError(f"negative field on trace line {lineno}")
+        yield CoreAccess(gap, address, parts[2] == "w")
+
+
+def dumps_trace(accesses: Iterable[CoreAccess]) -> str:
+    """Serialise to a string (handy for tests and small traces)."""
+    buf = io.StringIO()
+    buf.write(f"# repro-trace v{FORMAT_VERSION}\n")
+    for acc in accesses:
+        buf.write(f"{acc.gap} {acc.address:x} {'w' if acc.is_write else 'r'}\n")
+    return buf.getvalue()

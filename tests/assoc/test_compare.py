@@ -1,0 +1,66 @@
+"""Tests for the cross-design comparison helpers."""
+
+import random
+
+import pytest
+
+from repro.assoc import AssociativityDistribution, compare_designs, dominates
+from repro.core import SetAssociativeArray, SkewAssociativeArray, ZCacheArray
+from repro.replacement import LRU
+
+
+def trace(n=25_000, footprint=2_048, seed=0):
+    rng = random.Random(seed)
+    return [(rng.randrange(footprint), False) for _ in range(n)]
+
+
+DESIGNS = [
+    ("SA-4", 4, lambda: SetAssociativeArray(4, 64, hash_kind="h3")),
+    ("skew-4", 4, lambda: SkewAssociativeArray(4, 64, hash_seed=1)),
+    ("Z4/16", 16, lambda: ZCacheArray(4, 64, levels=2, hash_seed=2)),
+]
+
+
+class TestDominates:
+    def test_higher_n_dominates_lower(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        low = AssociativityDistribution(np.max(rng.random((5_000, 4)), axis=1))
+        high = AssociativityDistribution(np.max(rng.random((5_000, 16)), axis=1))
+        assert dominates(high, low)
+        assert not dominates(low, high)
+
+    def test_self_dominance_with_tolerance(self):
+        d = AssociativityDistribution([0.5, 0.7, 0.9])
+        assert dominates(d, d)
+
+
+class TestCompareDesigns:
+    def test_report_structure(self):
+        report = compare_designs(DESIGNS, LRU, trace())
+        assert len(report.measurements) == 3
+        names = [m.name for m in report.ranked()]
+        assert set(names) == {"SA-4", "skew-4", "Z4/16"}
+        assert len(report.rows()) == 4
+
+    def test_zcache_ranks_first(self):
+        report = compare_designs(DESIGNS, LRU, trace())
+        assert report.ranked()[0].name == "Z4/16"
+
+    def test_zcache_dominates_setassoc(self):
+        report = compare_designs(DESIGNS, LRU, trace())
+        matrix = report.dominance_matrix()
+        assert matrix[("Z4/16", "SA-4")]
+
+    def test_warmup_discards(self):
+        full = compare_designs(DESIGNS[:1], LRU, trace())
+        warm = compare_designs(DESIGNS[:1], LRU, trace(), warmup=15_000)
+        assert len(warm.measurements[0].distribution) < len(
+            full.measurements[0].distribution
+        )
+
+    def test_no_evictions_raises(self):
+        tiny = [(1, False), (2, False)]
+        with pytest.raises(ValueError):
+            compare_designs(DESIGNS[:1], LRU, tiny)

@@ -1,0 +1,147 @@
+"""Tests for the Section II baseline designs: victim and column caches."""
+
+import random
+
+import pytest
+
+from repro.core import ColumnAssociativeCache, VictimCache
+from repro.core.controller import Cache
+from repro.core.setassoc import SetAssociativeArray
+from repro.replacement import LRU
+
+
+class TestVictimCache:
+    def test_rejects_empty_buffer(self):
+        with pytest.raises(ValueError):
+            VictimCache(2, 8, victim_entries=0)
+
+    def test_buffer_absorbs_conflict_misses(self):
+        # Two conflicting addresses ping-pong in a direct-mapped main
+        # array; the victim buffer turns the ping-pong into hits.
+        plain = Cache(SetAssociativeArray(1, 8), LRU())
+        vc = VictimCache(1, 8, victim_entries=4)
+        for _ in range(50):
+            for addr in (0, 8):  # same set
+                plain.access(addr)
+                vc.access(addr)
+        assert plain.stats.miss_rate > 0.9
+        assert vc.stats.miss_rate < 0.1
+        assert vc.victim_stats.victim_hit_rate > 0.9
+
+    def test_total_capacity(self):
+        vc = VictimCache(2, 8, victim_entries=4)
+        assert vc.num_blocks == 20
+
+    def test_contains_covers_both_structures(self):
+        vc = VictimCache(1, 4, victim_entries=2)
+        vc.access(0)
+        vc.access(4)  # evicts 0 into the buffer
+        assert 0 in vc and 4 in vc
+
+    def test_dirty_block_survives_round_trip(self):
+        vc = VictimCache(1, 4, victim_entries=2)
+        vc.access(0, is_write=True)
+        vc.access(4)  # dirty 0 parks in the buffer
+        assert vc.stats.writebacks == 0  # sideways move, not to memory
+        vc.access(0)  # swap back
+        assert vc.main.is_dirty(0)
+
+    def test_buffer_overflow_writes_back_dirty(self):
+        vc = VictimCache(1, 4, victim_entries=1)
+        vc.access(0, is_write=True)
+        vc.access(4)  # dirty 0 -> buffer
+        vc.access(8)  # dirty?no 4 clean -> buffer, 0 displaced to memory
+        assert vc.stats.writebacks == 1
+
+    def test_poor_fit_for_many_hot_sets(self):
+        # The paper's critique: a small buffer cannot absorb conflict
+        # misses spread over many sets.
+        vc = VictimCache(1, 64, victim_entries=4)
+        rng = random.Random(0)
+        for _ in range(4000):
+            set_idx = rng.randrange(32)
+            vc.access(set_idx + 64 * rng.randrange(2))
+        assert vc.victim_stats.victim_hit_rate < 0.5
+
+    def test_merged_stats_consistent(self):
+        vc = VictimCache(2, 8, victim_entries=4)
+        rng = random.Random(1)
+        for _ in range(2000):
+            vc.access(rng.randrange(100), is_write=rng.random() < 0.3)
+        s = vc.stats
+        assert s.accesses == 2000
+        assert s.hits + s.misses == s.accesses
+
+
+class TestColumnAssociative:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            ColumnAssociativeCache(100)
+        with pytest.raises(ValueError):
+            ColumnAssociativeCache(1)
+
+    def test_primary_and_secondary_differ(self):
+        cc = ColumnAssociativeCache(16)
+        for addr in range(64):
+            assert cc.primary_index(addr) != cc.secondary_index(addr)
+
+    def test_two_conflicting_blocks_coexist(self):
+        # A direct-mapped cache ping-pongs; column-associative keeps
+        # both blocks via the secondary location.
+        cc = ColumnAssociativeCache(16)
+        cc.access(0)
+        cc.access(16)  # same primary set -> takes the secondary slot
+        assert 0 in cc and 16 in cc
+        assert cc.access(0) or cc.access(16)  # hits now
+
+    def test_secondary_hit_swaps_to_primary(self):
+        cc = ColumnAssociativeCache(16)
+        cc.access(0)
+        cc.access(16)
+        before = cc.stats.second_probe_hits
+        # Whichever of the two is in its secondary slot hits via the
+        # second probe and gets promoted.
+        cc.access(0)
+        cc.access(0)
+        # The second access must be a first-probe hit (swap happened).
+        assert cc.stats.second_probe_hits <= before + 1
+        cc.check_invariants()
+
+    def test_variable_hit_latency_measured(self):
+        cc = ColumnAssociativeCache(16)
+        rng = random.Random(2)
+        for _ in range(2000):
+            cc.access(rng.randrange(64))
+        assert 1.0 < cc.stats.mean_probes_per_access <= 2.0
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnAssociativeCache(16).access(-3)
+
+    def test_writeback_accounting(self):
+        cc = ColumnAssociativeCache(4)
+        cc.access(0, is_write=True)
+        # Fill both locations of set 0 and force 0 out.
+        cc.access(4)
+        cc.access(8)
+        assert cc.stats.writebacks == 1
+
+    def test_invariants_under_traffic(self):
+        cc = ColumnAssociativeCache(32)
+        rng = random.Random(3)
+        for _ in range(5000):
+            cc.access(rng.randrange(512), is_write=rng.random() < 0.2)
+        cc.check_invariants()
+        assert cc.stats.hits + cc.stats.misses == cc.stats.accesses
+
+    def test_beats_direct_mapped_on_conflicts(self):
+        dm = Cache(SetAssociativeArray(1, 32), LRU())
+        cc = ColumnAssociativeCache(32)
+        rng = random.Random(4)
+        # Hot pairs mapping to the same set.
+        for _ in range(4000):
+            base = rng.randrange(16)
+            addr = base + 32 * rng.randrange(2)
+            dm.access(addr)
+            cc.access(addr)
+        assert cc.stats.miss_rate < dm.stats.miss_rate

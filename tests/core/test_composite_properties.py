@@ -1,0 +1,79 @@
+"""Property-based tests for the composite Section II designs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ColumnAssociativeCache, VictimCache
+
+TRACE = st.lists(
+    st.tuples(st.integers(0, 300), st.booleans()), min_size=1, max_size=300
+)
+
+
+class TestVictimCacheProperties:
+    @given(trace=TRACE)
+    @settings(max_examples=40, deadline=None)
+    def test_main_and_buffer_disjoint(self, trace):
+        vc = VictimCache(2, 8, victim_entries=4)
+        for addr, is_write in trace:
+            vc.access(addr, is_write)
+            main_set = set(vc.main.resident())
+            buf_set = set(vc.buffer.resident())
+            assert not (main_set & buf_set), "block duplicated across levels"
+            assert addr in main_set, "accessed block must land in main"
+
+    @given(trace=TRACE)
+    @settings(max_examples=40, deadline=None)
+    def test_stats_identities(self, trace):
+        vc = VictimCache(2, 8, victim_entries=4)
+        for addr, is_write in trace:
+            vc.access(addr, is_write)
+        s = vc.stats
+        assert s.accesses == len(trace)
+        assert s.hits + s.misses == s.accesses
+        assert vc.victim_stats.victim_hits <= vc.victim_stats.victim_probes
+        assert vc.victim_stats.swaps == vc.victim_stats.victim_hits
+
+    @given(trace=TRACE)
+    @settings(max_examples=30, deadline=None)
+    def test_arrays_stay_consistent(self, trace):
+        vc = VictimCache(2, 8, victim_entries=4)
+        for addr, is_write in trace:
+            vc.access(addr, is_write)
+        vc.main.array.check_invariants()
+        vc.buffer.array.check_invariants()
+        assert len(vc) <= vc.num_blocks
+
+
+class TestColumnAssociativeProperties:
+    @given(trace=TRACE)
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_after_every_access(self, trace):
+        cc = ColumnAssociativeCache(16)
+        for addr, is_write in trace:
+            cc.access(addr, is_write)
+            assert addr in cc, "accessed block must be resident"
+        cc.check_invariants()
+
+    @given(trace=TRACE)
+    @settings(max_examples=40, deadline=None)
+    def test_probe_accounting(self, trace):
+        cc = ColumnAssociativeCache(16)
+        for addr, is_write in trace:
+            cc.access(addr, is_write)
+        s = cc.stats
+        assert s.accesses == len(trace)
+        assert s.first_probe_hits + s.second_probe_hits + s.misses == s.accesses
+        assert 0.0 <= s.mean_probes_per_access <= 2.0
+
+    @given(addrs=st.lists(st.integers(0, 300), min_size=2, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_never_worse_capacity_than_direct_mapped_pair(self, addrs):
+        # Both locations of a primary set can hold conflicting blocks:
+        # two alternating addresses never thrash.
+        cc = ColumnAssociativeCache(16)
+        a, b = addrs[0], addrs[0] + 16  # same primary set
+        cc.access(a)
+        cc.access(b)
+        hits = sum(cc.access(x) for x in [a, b] * 20)
+        assert hits == 40

@@ -1,0 +1,169 @@
+"""Tests for the cache controller: hits, misses, writebacks, stats."""
+
+import random
+
+import pytest
+
+from repro.core import Cache, FullyAssociativeArray, SetAssociativeArray, ZCacheArray
+from repro.replacement import LRU
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = Cache(SetAssociativeArray(2, 8), LRU())
+        assert not cache.access(1).hit
+        assert cache.access(1).hit
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(SetAssociativeArray(2, 8), LRU()).access(-1)
+
+    def test_read_write_counters(self):
+        cache = Cache(SetAssociativeArray(2, 8), LRU())
+        cache.access(1, is_write=False)
+        cache.access(2, is_write=True)
+        assert cache.stats.reads == 1
+        assert cache.stats.writes == 1
+
+    def test_len_and_contains(self):
+        cache = Cache(SetAssociativeArray(2, 8), LRU())
+        cache.access(1)
+        cache.access(2)
+        assert len(cache) == 2
+        assert 1 in cache and 3 not in cache
+
+    def test_fill_into_empty_counts(self):
+        cache = Cache(SetAssociativeArray(4, 4), LRU())
+        for a in range(8):
+            cache.access(a)
+        assert cache.stats.fills_empty == 8
+        assert cache.stats.evictions == 0
+
+
+class TestWriteback:
+    def test_dirty_eviction_writes_back(self):
+        cache = Cache(SetAssociativeArray(1, 4), LRU())
+        cache.access(0, is_write=True)  # set 0, dirty
+        result = cache.access(4)  # conflicts, evicts 0
+        assert result.evicted == 0
+        assert result.writeback
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = Cache(SetAssociativeArray(1, 4), LRU())
+        cache.access(0)
+        result = cache.access(4)
+        assert result.evicted == 0
+        assert not result.writeback
+
+    def test_write_hit_marks_dirty(self):
+        cache = Cache(SetAssociativeArray(1, 4), LRU())
+        cache.access(0)
+        cache.access(0, is_write=True)
+        assert cache.is_dirty(0)
+
+    def test_dirty_state_cleared_on_eviction(self):
+        cache = Cache(SetAssociativeArray(1, 4), LRU())
+        cache.access(0, is_write=True)
+        cache.access(4)  # evict dirty 0
+        cache.access(0)  # re-fetch clean
+        assert not cache.is_dirty(0)
+
+
+class TestInvalidate:
+    def test_invalidate_removes_block(self):
+        cache = Cache(SetAssociativeArray(2, 8), LRU())
+        cache.access(1)
+        assert cache.invalidate(1) is False  # clean
+        assert 1 not in cache
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_dirty_reports_writeback(self):
+        cache = Cache(SetAssociativeArray(2, 8), LRU())
+        cache.access(1, is_write=True)
+        assert cache.invalidate(1) is True
+        assert cache.stats.writebacks == 1
+
+    def test_invalidate_missing_is_noop(self):
+        cache = Cache(SetAssociativeArray(2, 8), LRU())
+        assert cache.invalidate(42) is False
+        assert cache.stats.invalidations == 0
+
+    def test_policy_consistent_after_invalidate(self):
+        cache = Cache(ZCacheArray(2, 16, levels=2), LRU())
+        rng = random.Random(0)
+        for _ in range(200):
+            cache.access(rng.randrange(100))
+        victim = next(iter(cache.resident()))
+        cache.invalidate(victim)
+        for _ in range(200):
+            cache.access(rng.randrange(100))
+        cache.array.check_invariants()
+
+
+class TestAccounting:
+    def test_hit_reads_tags_per_way_and_one_data(self):
+        cache = Cache(SetAssociativeArray(4, 8), LRU())
+        cache.access(1)
+        tr0, dr0 = cache.stats.tag_reads, cache.stats.data_reads
+        cache.access(1)
+        assert cache.stats.tag_reads - tr0 == 4
+        assert cache.stats.data_reads - dr0 == 1
+
+    def test_miss_accounts_walk_and_install(self):
+        cache = Cache(SetAssociativeArray(4, 8), LRU())
+        cache.access(1)
+        assert cache.stats.walk_tag_reads == 4
+        assert cache.stats.tag_writes == 1
+        assert cache.stats.data_writes == 1
+
+    def test_relocation_accounting(self):
+        arr = ZCacheArray(4, 32, levels=3, hash_seed=3)
+        cache = Cache(arr, LRU())
+        rng = random.Random(5)
+        for _ in range(3000):
+            cache.access(rng.randrange(2000))
+        # Relocations move data: data reads/writes reflect them.
+        assert cache.stats.relocations > 0
+        assert cache.stats.data_writes >= cache.stats.misses
+        assert cache.stats.data_reads >= cache.stats.relocations
+
+    def test_miss_rate_property(self):
+        cache = Cache(SetAssociativeArray(2, 8), LRU())
+        cache.access(1)
+        cache.access(1)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_empty_cache_rates_are_zero(self):
+        stats = Cache(SetAssociativeArray(2, 8), LRU()).stats
+        assert stats.miss_rate == 0.0
+        assert stats.hit_rate == 0.0
+
+
+class TestFullyAssociative:
+    def test_no_conflicts_until_capacity(self):
+        cache = Cache(FullyAssociativeArray(16), LRU())
+        for a in range(16):
+            cache.access(a)
+        assert cache.stats.evictions == 0
+        result = cache.access(100)
+        assert result.evicted == 0  # global LRU
+
+    def test_always_evicts_global_lru(self):
+        cache = Cache(FullyAssociativeArray(4), LRU())
+        for a in (1, 2, 3, 4):
+            cache.access(a)
+        cache.access(1)  # refresh
+        assert cache.access(5).evicted == 2
+
+    def test_free_list_reuse_after_invalidate(self):
+        cache = Cache(FullyAssociativeArray(4), LRU())
+        for a in (1, 2, 3, 4):
+            cache.access(a)
+        cache.invalidate(3)
+        result = cache.access(9)
+        assert result.filled_empty
+        cache.array.check_invariants()

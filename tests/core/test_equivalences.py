@@ -1,0 +1,118 @@
+"""Cross-design equivalence properties.
+
+Some designs are definitionally special cases of others; these tests
+pin those identities down so refactors cannot silently diverge them:
+
+- a one-level zcache IS a skew-associative cache;
+- a 1-way set-associative cache IS direct-mapped (and a 1-way zcache
+  behaves identically to it given the same hash);
+- a random-candidates array sampling as many candidates as it has
+  blocks approaches fully-associative behaviour.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Cache,
+    FullyAssociativeArray,
+    RandomCandidatesArray,
+    SetAssociativeArray,
+    SkewAssociativeArray,
+    ZCacheArray,
+)
+from repro.hashing import make_hash_family
+from repro.replacement import LRU
+
+TRACE = st.lists(st.integers(0, 400), min_size=20, max_size=400)
+
+
+class TestSkewIsOneLevelZCache:
+    @given(trace=TRACE)
+    @settings(max_examples=30, deadline=None)
+    def test_identical_access_outcomes(self, trace):
+        hashes_a = make_hash_family("h3", 4, 16, seed=9)
+        hashes_b = make_hash_family("h3", 4, 16, seed=9)
+        skew = Cache(SkewAssociativeArray(4, 16, hashes=hashes_a), LRU())
+        z1 = Cache(ZCacheArray(4, 16, levels=1, hashes=hashes_b), LRU())
+        for addr in trace:
+            a = skew.access(addr)
+            b = z1.access(addr)
+            assert (a.hit, a.evicted) == (b.hit, b.evicted)
+        assert skew.stats.misses == z1.stats.misses
+        assert set(skew.resident()) == set(z1.resident())
+
+
+class TestOneWayIsDirectMapped:
+    @given(trace=TRACE)
+    @settings(max_examples=30, deadline=None)
+    def test_sa_and_zcache_one_way_agree(self, trace):
+        hashes = make_hash_family("h3", 1, 64, seed=5)
+        sa = Cache(
+            SetAssociativeArray(1, 64, index_hash=hashes[0]), LRU()
+        )
+        z = Cache(
+            ZCacheArray(1, 64, levels=1, hashes=list(hashes)), LRU()
+        )
+        for addr in trace:
+            a = sa.access(addr)
+            b = z.access(addr)
+            assert (a.hit, a.evicted) == (b.hit, b.evicted)
+
+    def test_direct_mapped_victim_is_slot_occupant(self):
+        cache = Cache(SetAssociativeArray(1, 16), LRU())
+        cache.access(3)
+        result = cache.access(3 + 16)
+        assert result.evicted == 3
+
+
+class TestRandomCandidatesLimit:
+    def test_full_sampling_approaches_fully_associative(self):
+        # With n == B the random-candidates cache almost always sees the
+        # global LRU block; its miss count approaches the ideal's.
+        rng = random.Random(0)
+        trace = [rng.randrange(200) for _ in range(8_000)]
+        ideal = Cache(FullyAssociativeArray(64), LRU())
+        sampled = Cache(RandomCandidatesArray(64, 256, seed=1), LRU())
+        for addr in trace:
+            ideal.access(addr)
+            sampled.access(addr)
+        assert sampled.stats.misses <= ideal.stats.misses * 1.03
+
+    def test_single_candidate_is_random_eviction(self):
+        # Needs a recency-structured trace: under pure uniform traffic
+        # LRU equals random eviction, so nothing would separate them.
+        import itertools
+
+        from repro.workloads.patterns import zipf
+
+        trace = list(itertools.islice(zipf(400, skew=1.2, seed=4), 10_000))
+        ideal = Cache(FullyAssociativeArray(64), LRU())
+        rand1 = Cache(RandomCandidatesArray(64, 1, seed=3), LRU())
+        for addr in trace:
+            ideal.access(addr)
+            rand1.access(addr)
+        # Random eviction must be strictly worse than global LRU here.
+        assert rand1.stats.misses > ideal.stats.misses
+
+
+class TestHashSharingEquivalence:
+    @given(trace=TRACE)
+    @settings(max_examples=20, deadline=None)
+    def test_skew_with_identical_hashes_is_set_associative(self, trace):
+        # If every way uses the SAME index function, a "skew" cache
+        # degenerates to a set-associative cache: same candidate sets.
+        shared = make_hash_family("h3", 1, 16, seed=11)[0]
+        skew = Cache(
+            SkewAssociativeArray(4, 16, hashes=[shared] * 4), LRU()
+        )
+        sa = Cache(
+            SetAssociativeArray(4, 16, index_hash=shared), LRU()
+        )
+        for addr in trace:
+            a = skew.access(addr)
+            b = sa.access(addr)
+            assert a.hit == b.hit
+        assert skew.stats.misses == sa.stats.misses

@@ -1,0 +1,135 @@
+"""Tests for block pinning (paper Section I: buffering/pinning systems)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Cache,
+    FullyAssociativeArray,
+    SetAssociativeArray,
+    TwoPhaseZCache,
+    ZCacheArray,
+)
+from repro.replacement import LRU
+
+
+class TestPinBasics:
+    def test_pin_requires_resident(self):
+        cache = Cache(SetAssociativeArray(2, 8), LRU())
+        with pytest.raises(KeyError):
+            cache.pin(1)
+
+    def test_pin_unpin_cycle(self):
+        cache = Cache(SetAssociativeArray(2, 8), LRU())
+        cache.access(1)
+        cache.pin(1)
+        assert cache.is_pinned(1)
+        assert cache.pinned_count == 1
+        cache.unpin(1)
+        assert not cache.is_pinned(1)
+
+    def test_unpin_missing_is_noop(self):
+        Cache(SetAssociativeArray(2, 8), LRU()).unpin(99)
+
+    def test_pinned_block_never_evicted(self):
+        cache = Cache(SetAssociativeArray(1, 4), LRU())
+        cache.access(0)  # set 0
+        cache.pin(0)
+        for i in range(1, 20):
+            cache.access(i * 4)  # all conflict with 0
+        assert 0 in cache
+        assert cache.stats.pin_overflows > 0
+
+    def test_bypass_result_flagged(self):
+        cache = Cache(SetAssociativeArray(1, 4), LRU())
+        cache.access(0)
+        cache.pin(0)
+        result = cache.access(4)
+        assert result.bypassed
+        assert not result.hit
+        assert 4 not in cache
+
+    def test_bypassed_write_not_marked_dirty(self):
+        cache = Cache(SetAssociativeArray(1, 4), LRU())
+        cache.access(0)
+        cache.pin(0)
+        cache.access(4, is_write=True)
+        assert not cache.is_dirty(4)
+
+    def test_invalidate_clears_pin(self):
+        cache = Cache(SetAssociativeArray(2, 8), LRU())
+        cache.access(1)
+        cache.pin(1)
+        cache.invalidate(1)
+        assert not cache.is_pinned(1)
+        cache.access(1)
+        cache.access(9)  # may evict 1 again later without error
+        assert 1 in cache
+
+
+class TestPinnedRelocation:
+    def test_zcache_relocates_pinned_blocks(self):
+        # Pinned blocks may move between their legal positions; pinning
+        # only forbids eviction.
+        arr = ZCacheArray(4, 32, levels=3, hash_seed=1)
+        cache = Cache(arr, LRU())
+        rng = random.Random(0)
+        for _ in range(2_000):
+            cache.access(rng.randrange(1_000))
+        pinned = list(arr.resident())[:20]
+        for addr in pinned:
+            cache.pin(addr)
+        for _ in range(6_000):
+            cache.access(rng.randrange(1_000))
+        for addr in pinned:
+            assert addr in arr, "pinned block must stay resident"
+        arr.check_invariants()
+
+    def test_fully_associative_pin_overflow_at_capacity(self):
+        cache = Cache(FullyAssociativeArray(8), LRU())
+        for a in range(8):
+            cache.access(a)
+            cache.pin(a)
+        result = cache.access(100)
+        assert result.bypassed
+        assert cache.stats.pin_overflows == 1
+
+
+class TestPinnabilityAcrossDesigns:
+    def fill_and_pin(self, cache, blocks, rng):
+        """Pin random blocks until the first overflow; return count."""
+        pinned = 0
+        for _ in range(blocks * 4):
+            addr = rng.randrange(1 << 24)
+            result = cache.access(addr)
+            if result.bypassed:
+                return pinned
+            cache.pin(addr)
+            pinned += 1
+        return pinned
+
+    def test_zcache_pins_more_than_setassoc(self):
+        # The paper's Section I motivation: low associativity makes it
+        # hard to buffer many blocks (the first fully-pinned set stops
+        # you); a zcache's 52 candidates push overflow much later.
+        rng_a, rng_b = random.Random(1), random.Random(1)
+        sa = Cache(SetAssociativeArray(4, 64, hash_kind="h3"), LRU())
+        z = Cache(ZCacheArray(4, 64, levels=3, hash_seed=2), LRU())
+        sa_pinned = self.fill_and_pin(sa, 256, rng_a)
+        z_pinned = self.fill_and_pin(z, 256, rng_b)
+        assert z_pinned > sa_pinned
+        assert z_pinned > 0.8 * 256  # zcache pins most of its capacity
+
+    def test_two_phase_pinning_consistent(self):
+        cache = TwoPhaseZCache(ZCacheArray(4, 16, levels=2, hash_seed=3), LRU())
+        rng = random.Random(4)
+        for _ in range(500):
+            cache.access(rng.randrange(200))
+        for addr in list(cache.resident())[:10]:
+            cache.pin(addr)
+        for _ in range(2_000):
+            cache.access(rng.randrange(200))
+        cache.array.check_invariants()
+        for addr in cache._pinned:
+            assert addr in cache.array

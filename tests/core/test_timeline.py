@@ -1,0 +1,74 @@
+"""Tests for the replacement timeline (paper Fig. 1g and T_walk)."""
+
+import pytest
+
+from repro.core.timeline import (
+    ReplacementTimeline,
+    TimelineEvent,
+    schedule_replacement,
+    walk_cycles,
+)
+
+
+class TestWalkCycles:
+    def test_paper_example(self):
+        # W=3, L=3, T_tag=4: the paper's 21 candidates in 12 cycles.
+        assert walk_cycles(3, 3, t_tag=4) == 12
+
+    def test_formula_levels(self):
+        # W=4, L=3: max(4,1) + max(4,3) + max(4,9) = 4 + 4 + 9.
+        assert walk_cycles(4, 3, t_tag=4) == 17
+
+    def test_wide_caches_cover_tag_latency(self):
+        # For W > 2 the deeper levels exceed T_tag and dominate.
+        assert walk_cycles(8, 2, t_tag=4) == 4 + 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            walk_cycles(0, 1)
+
+
+class TestSchedule:
+    def test_paper_timeline_shape(self):
+        tl = schedule_replacement(ways=3, levels=3, relocations=1)
+        assert tl.walk_done == 12
+        assert tl.process_done == 20  # 12-cycle walk + one relocation
+        assert tl.miss_served == 100
+        assert tl.hidden
+
+    def test_no_relocations(self):
+        tl = schedule_replacement(4, 2, relocations=0)
+        assert tl.process_done == tl.walk_done
+
+    def test_relocations_serialise(self):
+        one = schedule_replacement(4, 3, relocations=1)
+        two = schedule_replacement(4, 3, relocations=2)
+        assert two.process_done == one.process_done + 8
+
+    def test_install_waits_for_memory(self):
+        tl = schedule_replacement(4, 2, relocations=0)
+        install = [e for e in tl.events if e.label == "install incoming"]
+        assert install[0].start >= 100
+
+    def test_hidden_becomes_exposed_with_slow_tags(self):
+        tl = schedule_replacement(4, 3, relocations=2, t_tag=40)
+        assert not tl.hidden
+
+    def test_relocation_bounds_validated(self):
+        with pytest.raises(ValueError):
+            schedule_replacement(4, 2, relocations=5)
+
+    def test_render_ascii(self):
+        tl = schedule_replacement(3, 3, relocations=2)
+        rows = tl.render(width=40)
+        assert any("walk level 0" in r for r in rows)
+        assert any("#" in r for r in rows)
+
+    def test_empty_timeline_properties(self):
+        tl = ReplacementTimeline(events=[])
+        assert tl.walk_done == 0
+        assert tl.process_done == 0
+        tl2 = ReplacementTimeline(
+            events=[TimelineEvent(0, 5, "tag", "walk level 0 (4r)")]
+        )
+        assert tl2.walk_done == 5

@@ -1,0 +1,93 @@
+"""Tests for the two-phase BFS zcache (paper Section III-D)."""
+
+import random
+
+import pytest
+
+from repro.assoc import TrackedPolicy
+from repro.core import Cache, TwoPhaseZCache, ZCacheArray
+from repro.core.setassoc import SetAssociativeArray
+from repro.replacement import LRU
+
+
+def run_traffic(cache, n=30_000, footprint=4_096, seed=5):
+    rng = random.Random(seed)
+    for _ in range(n):
+        cache.access(rng.randrange(footprint), is_write=rng.random() < 0.25)
+    return cache
+
+
+class TestConstruction:
+    def test_requires_zcache_array(self):
+        with pytest.raises(TypeError):
+            TwoPhaseZCache(SetAssociativeArray(4, 64), LRU())
+
+
+class TestBehaviour:
+    def test_invariants_under_traffic(self):
+        cache = TwoPhaseZCache(ZCacheArray(4, 128, levels=2, hash_seed=1), LRU())
+        run_traffic(cache)
+        cache.array.check_invariants()
+        s = cache.stats
+        assert s.accesses == s.hits + s.misses
+
+    def test_second_phase_runs_and_wins_sometimes(self):
+        cache = TwoPhaseZCache(ZCacheArray(4, 128, levels=2, hash_seed=1), LRU())
+        run_traffic(cache)
+        assert cache.second_phase_walks > 0
+        assert 0 < cache.second_phase_wins <= cache.second_phase_walks
+
+    def test_blocks_stay_at_legal_positions(self):
+        arr = ZCacheArray(3, 64, levels=2, hash_seed=2)
+        cache = TwoPhaseZCache(arr, LRU())
+        run_traffic(cache, n=8_000, footprint=2_000)
+        for addr in arr.resident():
+            pos = arr.lookup(addr)
+            assert pos.index == arr.hashes[pos.way](addr)
+
+    def test_policy_and_array_stay_in_sync(self):
+        tracked = TrackedPolicy(LRU())
+        arr = ZCacheArray(4, 64, levels=2, hash_seed=3)
+        cache = TwoPhaseZCache(arr, tracked)
+        run_traffic(cache, n=10_000, footprint=2_000)
+        assert set(tracked._mirror) == set(arr.resident())
+
+    def test_improves_associativity_over_single_phase(self):
+        rng = random.Random(7)
+        trace = [rng.randrange(4096) for _ in range(50_000)]
+        t1 = TrackedPolicy(LRU())
+        single = Cache(ZCacheArray(4, 256, levels=2, hash_seed=4), t1)
+        t2 = TrackedPolicy(LRU())
+        double = TwoPhaseZCache(ZCacheArray(4, 256, levels=2, hash_seed=4), t2)
+        for a in trace:
+            single.access(a)
+            double.access(a)
+        assert (
+            t2.distribution().effective_candidates()
+            > t1.distribution().effective_candidates()
+        )
+
+    def test_extra_tag_bandwidth_accounted(self):
+        single = Cache(ZCacheArray(4, 128, levels=2, hash_seed=5), LRU())
+        double = TwoPhaseZCache(ZCacheArray(4, 128, levels=2, hash_seed=5), LRU())
+        run_traffic(single, n=15_000)
+        run_traffic(double, n=15_000)
+        per_miss_single = single.stats.walk_tag_reads / single.stats.misses
+        per_miss_double = double.stats.walk_tag_reads / double.stats.misses
+        # Phase 2 roughly doubles walk tag traffic.
+        assert per_miss_double > 1.5 * per_miss_single
+
+    def test_accounting_identities(self):
+        cache = TwoPhaseZCache(ZCacheArray(4, 64, levels=3, hash_seed=6), LRU())
+        run_traffic(cache, n=12_000, footprint=3_000)
+        s = cache.stats
+        # Every miss ends in exactly one install; evictions can exceed
+        # zero per miss (phase-2 evicts) or be zero (free-slot endings),
+        # but data writes always cover the installs.
+        assert s.data_writes >= s.misses
+        assert s.evictions <= s.misses
+
+    def test_dirty_victims_write_back(self):
+        cache = TwoPhaseZCache(ZCacheArray(2, 16, levels=2, hash_seed=7), LRU())
+        run_traffic(cache, n=5_000, footprint=500, seed=9)
+        assert cache.stats.writebacks > 0

@@ -1,0 +1,85 @@
+"""Differential verification of the zcache walk.
+
+An independent, brute-force re-implementation of the breadth-first walk
+(straight from the paper's description, no shared code with the array's
+incremental version) recomputes the candidate tree from the array's
+observable state; hypothesis drives both against random traffic and the
+trees must agree node for node. This is the strongest guard against
+walk regressions: the two implementations would have to break in the
+same way.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Cache, ZCacheArray
+from repro.replacement import LRU
+
+
+def reference_walk(array: ZCacheArray, incoming: int):
+    """The paper's walk, written the naive way.
+
+    Returns a list of (way, index, resident, level) in BFS order.
+    """
+    nodes = []
+    frontier = []
+    for way in range(array.num_ways):
+        index = array.hashes[way](incoming)
+        resident = array._lines[way][index]
+        nodes.append((way, index, resident, 0))
+        frontier.append((way, index, resident))
+    for level in range(1, array.levels):
+        next_frontier = []
+        for way, index, resident in frontier:
+            if resident is None:
+                continue
+            for child_way in range(array.num_ways):
+                if child_way == way:
+                    continue
+                child_index = array.hashes[child_way](resident)
+                child_resident = array._lines[child_way][child_index]
+                nodes.append((child_way, child_index, child_resident, level))
+                next_frontier.append((child_way, child_index, child_resident))
+        frontier = next_frontier
+    return nodes
+
+
+@given(
+    trace=st.lists(st.integers(0, 2000), min_size=30, max_size=300),
+    probe=st.integers(10_000, 20_000),
+    ways=st.sampled_from([2, 3, 4]),
+    levels=st.sampled_from([1, 2, 3]),
+)
+@settings(max_examples=40, deadline=None)
+def test_walk_matches_reference(trace, probe, ways, levels):
+    array = ZCacheArray(ways, 16, levels=levels, hash_seed=7)
+    cache = Cache(array, LRU())
+    for addr in trace:
+        cache.access(addr)
+    if probe in array:
+        probe += 100_000  # make sure the probe misses
+    expected = reference_walk(array, probe)
+    repl = array.build_replacement(probe)
+    actual = [
+        (c.position.way, c.position.index, c.address, c.level)
+        for c in repl.candidates
+    ]
+    assert actual == expected
+
+
+@given(
+    trace=st.lists(st.integers(0, 500), min_size=50, max_size=300),
+)
+@settings(max_examples=30, deadline=None)
+def test_walk_level_counts_bounded_by_formula(trace):
+    array = ZCacheArray(4, 8, levels=3, hash_seed=11)
+    cache = Cache(array, LRU())
+    for addr in trace:
+        cache.access(addr)
+    repl = array.build_replacement(10**9)
+    per_level: dict[int, int] = {}
+    for c in repl.candidates:
+        per_level[c.level] = per_level.get(c.level, 0) + 1
+    # Level l holds at most W*(W-1)^l nodes (fewer when slots are free).
+    for level, count in per_level.items():
+        assert count <= 4 * 3**level

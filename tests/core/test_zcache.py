@@ -1,0 +1,227 @@
+"""Tests for the zcache array and its replacement walk."""
+
+import random
+
+import pytest
+
+from repro.core import Cache, SkewAssociativeArray, ZCacheArray
+from repro.core.zcache import levels_for_candidates, replacement_candidates
+from repro.replacement import LRU
+
+
+class TestCandidateFormula:
+    def test_paper_example_w3_l3(self):
+        # Fig. 1 walks a 3-way cache three levels: 3 + 6 + 12 = 21.
+        assert replacement_candidates(3, 3) == 21
+
+    def test_paper_configurations(self):
+        assert replacement_candidates(4, 1) == 4  # Z4/4 (skew)
+        assert replacement_candidates(4, 2) == 16  # Z4/16
+        assert replacement_candidates(4, 3) == 52  # Z4/52
+
+    def test_direct_mapped_degenerate(self):
+        assert replacement_candidates(1, 5) == 1
+
+    def test_two_way(self):
+        # W=2: each level adds 2 candidates... R = 2 * L.
+        assert replacement_candidates(2, 3) == 6
+
+    def test_levels_for_candidates(self):
+        assert levels_for_candidates(4, 16) == 2
+        assert levels_for_candidates(4, 17) == 3
+        assert levels_for_candidates(4, 52) == 3
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            replacement_candidates(0, 2)
+        with pytest.raises(ValueError):
+            replacement_candidates(4, 0)
+
+
+class TestWalk:
+    def make_full_cache(self, **kwargs):
+        arr = ZCacheArray(4, 64, **kwargs)
+        cache = Cache(arr, LRU())
+        rng = random.Random(0)
+        while arr.occupancy < 1.0:
+            cache.access(rng.randrange(10_000))
+        return arr, cache
+
+    def test_full_walk_size(self):
+        arr, _ = self.make_full_cache(levels=3)
+        repl = arr.build_replacement(999_999)
+        assert len(repl.candidates) == 52
+        assert repl.tag_reads == 52
+        by_level = {}
+        for c in repl.candidates:
+            by_level[c.level] = by_level.get(c.level, 0) + 1
+        assert by_level == {0: 4, 1: 12, 2: 36}
+
+    def test_children_exclude_parent_way(self):
+        arr, _ = self.make_full_cache(levels=2)
+        repl = arr.build_replacement(123_456_789)
+        for c in repl.candidates:
+            if c.parent is not None:
+                assert c.position.way != c.parent.position.way
+
+    def test_children_at_hash_of_parent_address(self):
+        arr, _ = self.make_full_cache(levels=2)
+        repl = arr.build_replacement(42_424_242)
+        for c in repl.candidates:
+            if c.parent is not None:
+                expected = arr.hashes[c.position.way](c.parent.address)
+                assert c.position.index == expected
+
+    def test_level0_at_incoming_hashes(self):
+        arr, _ = self.make_full_cache(levels=2)
+        incoming = 777_777
+        repl = arr.build_replacement(incoming)
+        roots = [c for c in repl.candidates if c.level == 0]
+        assert len(roots) == 4
+        for c in roots:
+            assert c.position.index == arr.hashes[c.position.way](incoming)
+
+    def test_candidate_limit_truncates(self):
+        arr, _ = self.make_full_cache(levels=3, candidate_limit=20)
+        repl = arr.build_replacement(31_337)
+        assert len(repl.candidates) == 20
+        assert repl.truncated
+
+    def test_candidate_limit_below_ways_rejected(self):
+        with pytest.raises(ValueError):
+            ZCacheArray(4, 64, candidate_limit=2)
+
+    def test_walk_on_empty_cache_stops_at_level0(self):
+        arr = ZCacheArray(4, 64, levels=3)
+        repl = arr.build_replacement(5)
+        assert len(repl.candidates) == 4
+        assert all(c.address is None for c in repl.candidates)
+
+
+class TestRelocation:
+    def test_commit_deep_candidate_relocates_ancestors(self):
+        arr = ZCacheArray(4, 64, levels=3)
+        cache = Cache(arr, LRU())
+        rng = random.Random(1)
+        while arr.occupancy < 1.0:
+            cache.access(rng.randrange(10_000))
+        incoming = 123_123
+        repl = arr.build_replacement(incoming)
+        deep = next(c for c in repl.usable() if c.level == 2 and c.address is not None)
+        path = deep.path_to_root()
+        moved = [c.address for c in path[1:]]  # ancestors that will move
+        result = arr.commit_replacement(repl, deep)
+        assert result.evicted == deep.address
+        assert result.relocations == 2
+        assert incoming in arr
+        assert deep.address not in arr
+        for addr in moved:
+            assert addr in arr  # relocated, not evicted
+        arr.check_invariants()
+
+    def test_commit_level0_no_relocation(self):
+        arr = ZCacheArray(4, 64, levels=2)
+        cache = Cache(arr, LRU())
+        rng = random.Random(2)
+        while arr.occupancy < 1.0:
+            cache.access(rng.randrange(10_000))
+        repl = arr.build_replacement(55_555)
+        root = next(c for c in repl.usable() if c.level == 0)
+        result = arr.commit_replacement(repl, root)
+        assert result.relocations == 0
+        assert arr.lookup(55_555) == root.position
+
+    def test_commit_invalid_candidate_rejected(self):
+        arr = ZCacheArray(4, 64, levels=2)
+        repl = arr.build_replacement(1)
+        repl.candidates[0].valid = False
+        with pytest.raises(ValueError):
+            arr.commit_replacement(repl, repl.candidates[0])
+
+    def test_stale_candidate_detected(self):
+        arr = ZCacheArray(4, 64, levels=2)
+        cache = Cache(arr, LRU())
+        rng = random.Random(3)
+        while arr.occupancy < 1.0:
+            cache.access(rng.randrange(10_000))
+        repl = arr.build_replacement(99_111)
+        victim = next(c for c in repl.usable() if c.address is not None)
+        arr.evict_address(victim.address)  # concurrent invalidation
+        with pytest.raises(RuntimeError):
+            arr.commit_replacement(repl, victim)
+
+
+class TestExtensions:
+    def run_traffic(self, arr, n=3000, seed=0, footprint=2000):
+        cache = Cache(arr, LRU())
+        rng = random.Random(seed)
+        for _ in range(n):
+            cache.access(rng.randrange(footprint))
+        arr.check_invariants()
+        return cache
+
+    def test_exact_repeat_filter(self):
+        arr = ZCacheArray(2, 8, levels=4, repeat_filter="exact")
+        self.run_traffic(arr, footprint=100)
+        # In a tiny cache with a deep walk, repeats must be detected.
+        assert arr.stats.repeats > 0
+
+    def test_bloom_repeat_filter(self):
+        arr = ZCacheArray(2, 8, levels=4, repeat_filter="bloom")
+        self.run_traffic(arr, footprint=100)
+        assert arr.stats.repeats > 0
+
+    def test_unknown_filter_rejected(self):
+        with pytest.raises(ValueError):
+            ZCacheArray(2, 8, repeat_filter="cuckoo")
+
+    def test_dfs_strategy_runs_and_relocates_more(self):
+        bfs = ZCacheArray(4, 256, levels=3, strategy="bfs", hash_seed=5)
+        dfs = ZCacheArray(4, 256, levels=3, strategy="dfs", hash_seed=5, seed=9)
+        self.run_traffic(bfs, n=12_000, footprint=8_000)
+        self.run_traffic(dfs, n=12_000, footprint=8_000)
+        assert dfs.stats.walks > 0
+        # DFS chains are deep: relocations per walk exceed BFS's.
+        assert (
+            dfs.stats.mean_relocations_per_walk
+            > bfs.stats.mean_relocations_per_walk
+        )
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            ZCacheArray(4, 64, strategy="ids")
+
+    def test_skew_is_one_level_zcache(self):
+        skew = SkewAssociativeArray(4, 64)
+        assert skew.levels == 1
+        assert skew.nominal_candidates() == 4
+
+    def test_blocks_always_at_legal_positions(self):
+        arr = ZCacheArray(3, 32, levels=3, hash_seed=7)
+        self.run_traffic(arr, n=5000, footprint=1000)
+        for addr in arr.resident():
+            pos = arr.lookup(addr)
+            assert pos.index == arr.hashes[pos.way](addr)
+
+
+class TestExpectedRelocations:
+    def test_formula_values(self):
+        from repro.core.zcache import expected_relocations
+
+        # W=4, L=3: (0*4 + 1*12 + 2*36) / 52.
+        assert expected_relocations(4, 3) == pytest.approx(84 / 52)
+        assert expected_relocations(4, 1) == 0.0
+        # W=2, L=2: (0*2 + 1*2) / 4.
+        assert expected_relocations(2, 2) == pytest.approx(0.5)
+
+    def test_measured_tracks_but_undershoots_uniformity(self):
+        from repro.core.zcache import expected_relocations
+
+        arr = ZCacheArray(4, 256, levels=3, hash_seed=5)
+        cache = Cache(arr, LRU())
+        rng = random.Random(6)
+        for _ in range(25_000):
+            cache.access(rng.randrange(8_000))
+        measured = arr.stats.mean_relocations_per_walk
+        analytic = expected_relocations(4, 3)
+        assert 0.6 * analytic < measured <= analytic + 1e-9

@@ -1,0 +1,145 @@
+"""Tests for the CACTI-like array model and its Table II calibration."""
+
+import pytest
+
+from repro.energy import ArrayModel, CacheCostModel, CacheGeometry, table2_rows
+
+
+class TestGeometry:
+    def test_blocks_and_lines(self):
+        g = CacheGeometry(1 << 20, ways=4)
+        assert g.blocks == 16384
+        assert g.lines_per_way == 4096
+        assert g.capacity_mb == pytest.approx(1.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(32, ways=1)  # smaller than a line
+        with pytest.raises(ValueError):
+            CacheGeometry(1 << 20, ways=0)
+        with pytest.raises(ValueError):
+            CacheGeometry(3 * 64, ways=2)  # 3 blocks / 2 ways
+
+
+class TestScalingLaws:
+    def test_hit_energy_grows_with_ways(self):
+        e = [
+            ArrayModel(CacheGeometry(1 << 20, w)).hit_energy()
+            for w in (2, 4, 8, 16, 32)
+        ]
+        assert e == sorted(e)
+
+    def test_parallel_costs_more_than_serial(self):
+        g = CacheGeometry(1 << 20, 8)
+        assert ArrayModel(g, parallel_lookup=True).hit_energy() > ArrayModel(
+            g
+        ).hit_energy()
+
+    def test_parallel_is_faster_than_serial(self):
+        g = CacheGeometry(1 << 20, 8)
+        assert (
+            ArrayModel(g, parallel_lookup=True).hit_latency()
+            < ArrayModel(g).hit_latency()
+        )
+
+    def test_energy_grows_with_capacity(self):
+        small = ArrayModel(CacheGeometry(1 << 19, 4)).hit_energy()
+        big = ArrayModel(CacheGeometry(1 << 21, 4)).hit_energy()
+        assert big > small
+
+    def test_area_dominated_by_data(self):
+        m = ArrayModel(CacheGeometry(1 << 20, 4))
+        # Tag overhead is ~11% of data bits: total within 25% of data area.
+        from repro.energy.arrays import AREA_DATA_PER_MB
+
+        assert m.area_mm2() < AREA_DATA_PER_MB * 1.25
+        assert m.area_mm2() > AREA_DATA_PER_MB
+
+    def test_latency_in_table1_range(self):
+        # Table I: L2 bank latencies 6-11 cycles across designs.
+        lats = []
+        for parallel in (False, True):
+            for ways in (4, 8, 16, 32):
+                lats.append(
+                    ArrayModel(
+                        CacheGeometry(1 << 20, ways), parallel
+                    ).hit_latency_cycles()
+                )
+        assert min(lats) >= 6
+        assert max(lats) <= 11
+
+
+class TestPaperCalibration:
+    """The published Table II ratios, asserted exactly (see §VI-A)."""
+
+    def test_serial_hit_energy_ratio(self):
+        s4 = CacheCostModel(1 << 20, 4)
+        s32 = CacheCostModel(1 << 20, 32)
+        assert s32.hit_energy() / s4.hit_energy() == pytest.approx(2.0, rel=0.05)
+
+    def test_parallel_hit_energy_ratio(self):
+        p4 = CacheCostModel(1 << 20, 4, parallel_lookup=True)
+        p32 = CacheCostModel(1 << 20, 32, parallel_lookup=True)
+        assert p32.hit_energy() / p4.hit_energy() == pytest.approx(3.3, rel=0.05)
+
+    def test_latency_ratios(self):
+        s4 = CacheCostModel(1 << 20, 4)
+        s32 = CacheCostModel(1 << 20, 32)
+        assert s32.hit_latency_cycles() / s4.hit_latency_cycles() == pytest.approx(
+            1.23, abs=0.05
+        )
+        p4 = CacheCostModel(1 << 20, 4, parallel_lookup=True)
+        p32 = CacheCostModel(1 << 20, 32, parallel_lookup=True)
+        assert p32.hit_latency_cycles() / p4.hit_latency_cycles() == pytest.approx(
+            1.32, abs=0.05
+        )
+
+    def test_area_ratio(self):
+        s4 = CacheCostModel(1 << 20, 4)
+        s32 = CacheCostModel(1 << 20, 32)
+        assert s32.area_mm2() / s4.area_mm2() == pytest.approx(1.22, abs=0.02)
+
+    def test_zcache_keeps_4way_hit_costs(self):
+        s4 = CacheCostModel(1 << 20, 4)
+        z52 = CacheCostModel(1 << 20, 4, levels=3)
+        assert z52.hit_energy() == pytest.approx(s4.hit_energy())
+        assert z52.hit_latency_cycles() == s4.hit_latency_cycles()
+        assert z52.area_mm2() == pytest.approx(s4.area_mm2())
+
+    def test_z52_miss_energy_vs_sa32(self):
+        z52 = CacheCostModel(1 << 20, 4, levels=3, mean_relocations=1.4)
+        s32 = CacheCostModel(1 << 20, 32)
+        ratio = z52.miss_energy() / s32.miss_energy()
+        assert 1.1 < ratio < 1.6  # paper: ~1.3x
+
+    def test_miss_energy_grows_with_candidates(self):
+        z16 = CacheCostModel(1 << 20, 4, levels=2, mean_relocations=0.5)
+        z52 = CacheCostModel(1 << 20, 4, levels=3, mean_relocations=0.5)
+        assert z52.miss_energy() > z16.miss_energy()
+
+
+class TestCostModel:
+    def test_design_names(self):
+        assert CacheCostModel(1 << 20, 4).design_name() == "SA-4"
+        assert CacheCostModel(1 << 20, 4, levels=3).design_name() == "Z4/52"
+
+    def test_walk_energy_formula(self):
+        z = CacheCostModel(1 << 20, 4, levels=2)
+        e_rt = z.array.energies().tag_read
+        assert z.walk_energy() == pytest.approx(16 * e_rt)
+        assert z.walk_energy(candidates=8) == pytest.approx(8 * e_rt)
+
+    def test_rejects_bad_relocations(self):
+        with pytest.raises(ValueError):
+            CacheCostModel(1 << 20, 4, levels=2, mean_relocations=5.0)
+
+    def test_table2_has_all_rows(self):
+        rows = table2_rows()
+        assert len(rows) == 12  # (4 SA + 2 Z) x 2 lookup types
+        labels = {(r.design, r.lookup) for r in rows}
+        assert ("Z4/52", "serial") in labels
+        assert ("SA-32", "parallel") in labels
+
+    def test_rows_format(self):
+        for row in table2_rows():
+            assert "nJ" in row.format()

@@ -1,0 +1,78 @@
+"""Tests for the chip power model."""
+
+import pytest
+
+from repro.energy import CacheCostModel, ChipPowerModel
+
+
+def model(parallel=False, levels=None):
+    return ChipPowerModel(
+        CacheCostModel(1 << 20, 4, levels=levels, parallel_lookup=parallel),
+        num_cores=32,
+        num_banks=8,
+    )
+
+
+class TestStaticPower:
+    def test_in_tdp_ballpark(self):
+        # Paper: ~90 W TDP. Static alone should be a sane fraction.
+        watts = model().static_watts()
+        assert 20 < watts < 90
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            ChipPowerModel(CacheCostModel(1 << 20, 4), num_cores=0)
+
+
+class TestReports:
+    def base_report(self, m=None, cycles=1_000_000):
+        m = m or model()
+        return m.report(
+            instructions=2_000_000,
+            cycles=cycles,
+            l1_accesses=600_000,
+            l2_hits=60_000,
+            l2_misses=12_000,
+            l2_writebacks=4_000,
+        )
+
+    def test_metrics_consistent(self):
+        rep = self.base_report()
+        assert rep.ipc == pytest.approx(2.0)
+        assert rep.bips > 0
+        assert rep.watts > 0
+        assert rep.bips_per_watt == pytest.approx(rep.bips / rep.watts, rel=1e-6)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            model().report(
+                instructions=-1, cycles=1, l1_accesses=0, l2_hits=0, l2_misses=0
+            )
+
+    def test_more_misses_cost_more_energy(self):
+        m = model()
+        low = m.report(1_000_000, 1_000_000, 300_000, 50_000, 1_000)
+        high = m.report(1_000_000, 1_000_000, 300_000, 50_000, 40_000)
+        assert high.energy_joules > low.energy_joules
+
+    def test_walk_activity_costs_energy(self):
+        m = model(levels=3)
+        quiet = m.report(1_000_000, 1_000_000, 300_000, 50_000, 10_000)
+        walky = m.report(
+            1_000_000, 1_000_000, 300_000, 50_000, 10_000,
+            walk_tag_reads=520_000, relocations=14_000,
+        )
+        assert walky.energy_joules > quiet.energy_joules
+        # Walks are tag reads: the overhead is a small share of total.
+        assert (walky.energy_joules - quiet.energy_joules) / quiet.energy_joules < 0.2
+
+    def test_parallel_lookup_higher_hit_energy(self):
+        serial = self.base_report(model(parallel=False))
+        parallel = self.base_report(model(parallel=True))
+        assert parallel.energy_joules > serial.energy_joules
+
+    def test_zero_cycles_safe(self):
+        rep = model().report(0, 0, 0, 0, 0)
+        assert rep.bips == 0.0
+        assert rep.watts == 0.0
+        assert rep.bips_per_watt == 0.0

@@ -1,0 +1,72 @@
+"""Integration tests for the zcache-repro CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStaticExperiments:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "32 cores" in out
+        assert "Scaled configuration" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Z4/52" in out
+        assert "2.00x (2.0x)" in out
+
+    def test_merit(self, capsys):
+        assert main(["merit"]) == 0
+        out = capsys.readouterr().out
+        assert "W=4 L=3: R=52" in out
+
+    def test_roster(self, capsys):
+        assert main(["roster"]) == 0
+        out = capsys.readouterr().out
+        assert "canneal" in out
+        assert "cpu2K6rand29" in out
+        assert len(out.strip().splitlines()) == 72
+
+
+class TestSimulationExperiments:
+    def test_fig3_with_subset(self, capsys):
+        # canneal is miss-heavy enough that every panel evicts at this
+        # tiny scale (small footprints never fill the efficiently-
+        # packing skew/z arrays, leaving their panels empty).
+        code = main(
+            ["fig3", "--workloads", "canneal", "--instructions", "3000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "canneal" in out
+        assert "zcache" in out
+        assert "wupwise" not in out  # subset respected
+
+    def test_fig4_with_subset(self, capsys):
+        code = main(
+            ["fig4", "--workloads", "gcc,canneal", "--instructions", "800"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Z4/52-S" in out
+        assert "mpki" in out and "ipc" in out
+
+    def test_bandwidth_with_subset(self, capsys):
+        code = main(
+            ["bandwidth", "--workloads", "gcc", "--instructions", "800"]
+        )
+        assert code == 0
+        assert "demand=" in capsys.readouterr().out
+
+
+class TestArgumentHandling:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])
+
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,159 @@
+"""Tests for the experiment harnesses (small scales).
+
+These check that each figure/table generator runs, produces the right
+structure, and — where cheap enough — that the paper's qualitative
+claims hold at test scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    DESIGNS_FIG4,
+    ExperimentScale,
+    baseline_design,
+    representative_workloads,
+    run_design_sweep,
+)
+from repro.experiments import bandwidth, fig2, fig3, fig4, fig5, merit, table1, table2
+
+TINY = ExperimentScale(
+    instructions_per_core=800,
+    workloads=("gcc", "cactusADM"),
+    seed=2,
+)
+
+
+class TestRunner:
+    def test_baseline_is_hashed_sa4(self):
+        base = baseline_design()
+        assert base.kind == "sa"
+        assert base.ways == 4
+        assert base.hash_kind == "h3"
+
+    def test_fig4_designs_match_paper(self):
+        labels = [d.label() for d in DESIGNS_FIG4]
+        assert labels == [
+            "SA-4h-S", "SA-16h-S", "SA-32h-S", "SK-4-S", "Z4/16-S", "Z4/52-S",
+        ]
+
+    def test_sweep_returns_all_cells(self):
+        sweep = run_design_sweep(
+            "gcc", DESIGNS_FIG4[:2], policies=("lru",), scale=TINY
+        )
+        assert len(sweep.results) == 2
+
+    def test_representative_workloads_exist(self):
+        from repro.workloads import WORKLOADS
+
+        assert all(w in WORKLOADS for w in representative_workloads())
+
+
+class TestFig2:
+    def test_analytic_and_simulated_agree(self):
+        # The cache must be large relative to n: sampling with
+        # repetition from B blocks yields ~B(1-(1-1/B)^n) unique
+        # candidates, so small B understates n=64 visibly.
+        result = fig2.run(cache_blocks=1024, accesses=25_000)
+        for n in fig2.CANDIDATE_COUNTS:
+            _cdf, ks = result.simulated[n]
+            assert ks < 0.15
+        assert len(result.rows()) > 5
+
+
+class TestFig3:
+    def test_cells_cover_panels(self):
+        # Enough instructions that every design (including the
+        # efficiently-filling skew/z arrays) starts evicting.
+        cells = fig3.run(
+            scale=ExperimentScale(instructions_per_core=3000, seed=2),
+            workloads=("wupwise",),
+        )
+        panels = {c.panel for c in cells}
+        assert len(panels) == 4
+        for c in cells:
+            assert 0 < c.distribution.mean() <= 1.0
+
+    def test_skew_closest_to_uniformity(self):
+        cells = fig3.run(
+            scale=ExperimentScale(instructions_per_core=3000, seed=2),
+            workloads=("mgrid",),
+        )
+        by_design = {c.design: c for c in cells}
+        # The un-hashed 4-way SA must deviate more than the skew cache.
+        assert (
+            by_design["SK-4-S"].distribution.ks_to_uniformity(4)
+            < by_design["SA-4-S"].distribution.ks_to_uniformity(4)
+        )
+
+
+class TestTables:
+    def test_table1_prints_paper_values(self):
+        lines = "\n".join(table1.rows())
+        assert "32 cores" in lines
+        assert "8.00 MB" in lines
+        assert "200 cycles" in lines
+
+    def test_table2_checks_hold(self):
+        c = table2.checks()
+        assert c.serial_hit_ratio_32_vs_4 == pytest.approx(2.0, rel=0.05)
+        assert c.parallel_hit_ratio_32_vs_4 == pytest.approx(3.3, rel=0.05)
+        assert c.z52_keeps_4way_hit_energy
+        assert c.z52_keeps_4way_latency
+        assert 1.0 < c.z52_vs_sa32_miss_energy < 1.7
+
+
+class TestFig4:
+    def test_structure_and_metrics(self):
+        result = fig4.run(scale=TINY, policies=("lru",))
+        # 5 non-baseline designs x 1 policy x 2 metrics.
+        assert len(result.series) == 10
+        s = result.get("mpki", "lru", "Z4/52-S")
+        assert len(s.points) == 2
+        assert s.values() == sorted(s.values())
+
+    def test_zcache_never_slower_than_baseline_latency(self):
+        result = fig4.run(scale=TINY, policies=("lru",))
+        z = result.get("ipc", "lru", "Z4/52-S")
+        # zcaches keep 4-way latency: IPC improvement >= ~1 everywhere.
+        assert min(z.values()) > 0.97
+
+
+class TestFig5:
+    def test_cells_cover_groups(self):
+        cells = fig5.run(scale=TINY, policies=("lru",))
+        groups = {c.group for c in cells}
+        assert "geomean-all" in groups
+        assert "geomean-top10" in groups
+        for c in cells:
+            assert c.ipc_improvement > 0
+            assert c.bips_per_watt_improvement > 0
+
+    def test_baseline_normalised_to_one(self):
+        cells = fig5.run(scale=TINY, policies=("lru",))
+        base = [
+            c for c in cells
+            if c.design == "SA-4h-S" and c.group == "geomean-all"
+        ]
+        assert base[0].ipc_improvement == pytest.approx(1.0)
+        assert base[0].bips_per_watt_improvement == pytest.approx(1.0)
+
+
+class TestBandwidth:
+    def test_points_and_loads(self):
+        points = bandwidth.run(scale=TINY)
+        assert len(points) == 2
+        for p in points:
+            assert 0 <= p.demand_load_per_bank < 1.0
+            assert p.tag_load_per_bank >= p.demand_load_per_bank
+
+
+class TestMerit:
+    def test_formula_vs_measured(self):
+        rows = merit.run(configs=((4, 2), (4, 3)), accesses=6_000)
+        for row in rows:
+            assert row.r_measured <= row.r_formula + 1e-9
+            assert row.r_measured > 0.85 * row.r_formula
+
+    def test_walk_latency_paper_example(self):
+        # Fig. 1g: W=3, L=3, 4-cycle tag reads -> 12 cycles.
+        assert merit.walk_latency_cycles(3, 3, t_tag=4) == 12

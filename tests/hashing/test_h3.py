@@ -1,0 +1,79 @@
+"""Tests for the H3 universal hash family."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import H3Hash
+
+
+class TestConstruction:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            H3Hash(num_lines=100)
+
+    def test_rejects_zero_lines(self):
+        with pytest.raises(ValueError):
+            H3Hash(num_lines=0)
+
+    def test_index_bits(self):
+        assert H3Hash(1024).index_bits == 10
+        assert H3Hash(1).index_bits == 0
+
+    def test_matrix_rows_nonzero(self):
+        h = H3Hash(4096, seed=3)
+        assert all(row != 0 for row in h.matrix())
+        assert len(h.matrix()) == 12
+
+
+class TestBehaviour:
+    def test_deterministic(self):
+        h = H3Hash(256, seed=1)
+        assert h(0xABCDEF) == h(0xABCDEF)
+
+    def test_same_seed_same_function(self):
+        a, b = H3Hash(256, seed=7), H3Hash(256, seed=7)
+        assert all(a(x) == b(x) for x in range(1000))
+
+    def test_different_seeds_differ(self):
+        a, b = H3Hash(256, seed=1), H3Hash(256, seed=2)
+        assert any(a(x) != b(x) for x in range(100))
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            H3Hash(256)(address=-1)
+
+    def test_zero_address_maps_to_zero(self):
+        # H3 is GF(2)-linear: h(0) = 0 always.
+        for seed in range(5):
+            assert H3Hash(256, seed=seed)(0) == 0
+
+    def test_gf2_linearity(self):
+        # h(a xor b) == h(a) xor h(b) — the family's defining property.
+        h = H3Hash(1024, seed=11)
+        pairs = [(3, 17), (0xFFF, 0xABC), (123456, 654321)]
+        for a, b in pairs:
+            assert h(a ^ b) == h(a) ^ h(b)
+
+    @given(st.integers(min_value=0, max_value=2**48 - 1))
+    @settings(max_examples=200)
+    def test_output_in_range(self, address):
+        h = H3Hash(512, seed=5)
+        assert 0 <= h(address) < 512
+
+
+class TestDistribution:
+    def test_roughly_uniform(self):
+        h = H3Hash(64, seed=9)
+        counts = [0] * 64
+        for x in range(64 * 200):
+            counts[h(x)] += 1
+        # Every bucket should get 200 +- generous slack.
+        assert min(counts) > 100
+        assert max(counts) < 350
+
+    def test_memoisation_consistent(self):
+        h = H3Hash(128, seed=2)
+        first = [h(x) for x in range(500)]
+        second = [h(x) for x in range(500)]
+        assert first == second

@@ -1,0 +1,91 @@
+"""Tests for bucketed LRU (paper Section III-E)."""
+
+import pytest
+
+from repro.replacement import BucketedLRU
+
+
+class TestConstruction:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BucketedLRU(timestamp_bits=0)
+        with pytest.raises(ValueError):
+            BucketedLRU(bump_every=0)
+
+    def test_for_cache_size_matches_paper(self):
+        # k = 5% of cache size, n = 8 bits.
+        p = BucketedLRU.for_cache_size(num_blocks=1000)
+        assert p.bump_every == 50
+        assert p.timestamp_bits == 8
+
+    def test_for_cache_size_rejects_zero(self):
+        with pytest.raises(ValueError):
+            BucketedLRU.for_cache_size(0)
+
+    def test_small_cache_bump_at_least_one(self):
+        assert BucketedLRU.for_cache_size(4).bump_every == 1
+
+
+class TestOrdering:
+    def test_tracks_lru_between_wraps(self):
+        p = BucketedLRU(timestamp_bits=8, bump_every=1)
+        for a in (1, 2, 3):
+            p.on_insert(a)
+        assert p.select_victim([1, 2, 3]) == 1
+        p.on_access(1)
+        assert p.select_victim([1, 2, 3]) == 2
+
+    def test_bucketing_creates_ties_resolved_arbitrarily(self):
+        # With bump_every=10, blocks inserted close together share a
+        # bucket; the victim is any of the shared-bucket blocks.
+        p = BucketedLRU(timestamp_bits=8, bump_every=10)
+        for a in range(5):
+            p.on_insert(a)
+        assert p.select_victim(list(range(5))) in range(5)
+
+    def test_wrapped_age_arithmetic(self):
+        p = BucketedLRU(timestamp_bits=4, bump_every=1)
+        p.on_insert(1)  # stamped at counter=1
+        for a in range(2, 10):
+            p.on_insert(a)
+        # counter is now 9; block 1 has age 8 in mod-16 arithmetic.
+        assert p.wrapped_age(1) == 8
+
+    def test_wraparound_misjudges_survivors(self):
+        # A block surviving a full wrap looks recent to the hardware
+        # comparison — the known artifact the paper sizes k and n to make
+        # rare. With tiny parameters we can force it.
+        p = BucketedLRU(timestamp_bits=2, bump_every=1)  # mod 4
+        p.on_insert(100)  # stamp 1
+        for a in range(4):
+            p.on_insert(200 + a)  # counter wraps past 100's stamp
+        # Unwrapped truth: 100 is oldest (highest eviction preference).
+        truth = max((p.score(a), a) for a in [100, 200, 201, 202, 203])
+        assert truth[1] == 100
+        # Hardware wrapped-age view need not agree with the truth; it
+        # must still pick *some* candidate without error.
+        victim = p.select_victim([100, 200, 201, 202, 203])
+        assert victim in (100, 200, 201, 202, 203)
+
+    def test_score_is_unwrapped_ground_truth(self):
+        p = BucketedLRU(timestamp_bits=2, bump_every=1)
+        p.on_insert(1)
+        for a in range(2, 12):
+            p.on_insert(a)
+        scores = [p.score(a) for a in range(1, 12)]
+        assert scores == sorted(scores, reverse=True)  # older = higher
+
+
+class TestLifecycle:
+    def test_evict_forgets(self):
+        p = BucketedLRU()
+        p.on_insert(1)
+        p.on_evict(1)
+        with pytest.raises(KeyError):
+            p.on_evict(1)
+
+    def test_double_insert_rejected(self):
+        p = BucketedLRU()
+        p.on_insert(1)
+        with pytest.raises(ValueError):
+            p.on_insert(1)

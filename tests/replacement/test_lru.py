@@ -1,0 +1,90 @@
+"""Tests for LRU, FIFO and the policy base contract."""
+
+import pytest
+
+from repro.replacement import FIFO, LRU, make_policy
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        p = LRU()
+        for a in (1, 2, 3):
+            p.on_insert(a)
+        assert p.select_victim([1, 2, 3]) == 1
+        p.on_access(1)
+        assert p.select_victim([1, 2, 3]) == 2
+
+    def test_scores_order_by_recency(self):
+        p = LRU()
+        p.on_insert(10)
+        p.on_insert(20)
+        assert p.score(10) > p.score(20)  # older -> higher preference
+
+    def test_double_insert_rejected(self):
+        p = LRU()
+        p.on_insert(1)
+        with pytest.raises(ValueError):
+            p.on_insert(1)
+
+    def test_access_nonresident_rejected(self):
+        with pytest.raises(KeyError):
+            LRU().on_access(99)
+
+    def test_evict_nonresident_rejected(self):
+        with pytest.raises(KeyError):
+            LRU().on_evict(99)
+
+    def test_evict_forgets_state(self):
+        p = LRU()
+        p.on_insert(5)
+        p.on_evict(5)
+        p.on_insert(5)  # re-insertable after eviction
+        assert p.score(5) is not None
+
+    def test_select_victim_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LRU().select_victim([])
+
+    def test_writes_count_as_use(self):
+        p = LRU()
+        p.on_insert(1)
+        p.on_insert(2)
+        p.on_access(1, is_write=True)
+        assert p.select_victim([1, 2]) == 2
+
+
+class TestFIFO:
+    def test_access_does_not_refresh(self):
+        p = FIFO()
+        p.on_insert(1)
+        p.on_insert(2)
+        p.on_access(1)
+        p.on_access(1)
+        assert p.select_victim([1, 2]) == 1  # still first in
+
+    def test_eviction_order_is_insertion_order(self):
+        p = FIFO()
+        for a in (7, 8, 9):
+            p.on_insert(a)
+        assert p.select_victim([9, 8, 7]) == 7
+
+    def test_double_insert_rejected(self):
+        p = FIFO()
+        p.on_insert(3)
+        with pytest.raises(ValueError):
+            p.on_insert(3)
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name in ("lru", "bucketed-lru", "lfu", "fifo", "random", "srrip"):
+            assert make_policy(name) is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("belady")
+
+    def test_kwargs_forwarded(self):
+        p = make_policy("bucketed-lru", timestamp_bits=4, bump_every=10)
+        assert p.timestamp_bits == 4
+        assert p.bump_every == 10

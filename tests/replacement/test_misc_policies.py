@@ -1,0 +1,109 @@
+"""Tests for LFU, RandomPolicy and SRRIP."""
+
+import pytest
+
+from repro.replacement import LFU, SRRIP, RandomPolicy
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        p = LFU()
+        p.on_insert(1)
+        p.on_insert(2)
+        p.on_access(1)
+        p.on_access(1)
+        p.on_access(2)
+        assert p.select_victim([1, 2]) == 2
+
+    def test_frequency_ties_broken_by_recency(self):
+        p = LFU()
+        p.on_insert(1)
+        p.on_insert(2)  # both frequency 1; 1 touched earlier
+        assert p.select_victim([1, 2]) == 1
+
+    def test_eviction_resets_count(self):
+        p = LFU()
+        p.on_insert(1)
+        p.on_access(1)
+        p.on_evict(1)
+        p.on_insert(1)
+        p.on_insert(2)
+        p.on_access(2)
+        assert p.select_victim([1, 2]) == 1  # count restarted at 1
+
+
+class TestRandomPolicy:
+    def test_deterministic_with_seed(self):
+        a, b = RandomPolicy(seed=3), RandomPolicy(seed=3)
+        for addr in range(10):
+            a.on_insert(addr)
+            b.on_insert(addr)
+        assert a.select_victim(list(range(10))) == b.select_victim(list(range(10)))
+
+    def test_roughly_uniform_victims(self):
+        counts = {a: 0 for a in range(4)}
+        for seed in range(400):
+            p = RandomPolicy(seed=seed)
+            for a in range(4):
+                p.on_insert(a)
+            counts[p.select_victim([0, 1, 2, 3])] += 1
+        assert min(counts.values()) > 50
+
+    def test_priority_stable_within_residency(self):
+        p = RandomPolicy(seed=0)
+        p.on_insert(5)
+        s = p.score(5)
+        p.on_access(5)
+        assert p.score(5) == s
+
+
+class TestSRRIP:
+    def test_insert_gets_long_rrpv_hit_gets_zero(self):
+        p = SRRIP(m_bits=2)
+        p.on_insert(1)
+        assert p.score(1)[0] == 2  # long = 2^2 - 2
+        p.on_access(1)
+        assert p.score(1)[0] == 0
+
+    def test_victim_prefers_distant(self):
+        p = SRRIP(m_bits=2)
+        p.on_insert(1)
+        p.on_insert(2)
+        p.on_access(1)  # rrpv 0
+        assert p.select_victim([1, 2]) == 2
+
+    def test_aging_when_no_distant_candidate(self):
+        p = SRRIP(m_bits=2)
+        p.on_insert(1)
+        p.on_insert(2)
+        p.on_access(1)
+        p.on_access(2)  # both rrpv 0
+        victim = p.select_victim([1, 2])
+        assert victim in (1, 2)
+        # Aging bumped both candidates to the distant value.
+        changed = p.drain_score_updates()
+        assert set(changed) == {1, 2}
+        assert p.score(1)[0] == p.rrpv_max
+
+    def test_drain_is_one_shot(self):
+        p = SRRIP()
+        p.on_insert(1)
+        p.on_insert(2)
+        p.select_victim([1, 2])
+        p.drain_score_updates()
+        assert p.drain_score_updates() == []
+
+    def test_rejects_bad_mbits(self):
+        with pytest.raises(ValueError):
+            SRRIP(m_bits=0)
+
+    def test_hit_priority_protects_reused_blocks(self):
+        # A block that hits repeatedly should outlive streaming blocks.
+        p = SRRIP(m_bits=2)
+        p.on_insert(100)
+        for i in range(3):
+            p.on_access(100)
+            p.on_insert(i)
+            victim = p.select_victim([100, i])
+            assert victim == i
+            p.on_evict(i)

@@ -1,0 +1,76 @@
+"""Tests for the NRU policy."""
+
+import pytest
+
+from repro.replacement import NRU, make_policy
+
+
+class TestNRU:
+    def test_insert_marks_referenced(self):
+        p = NRU()
+        p.on_insert(1)
+        assert p.score(1)[0] == 0  # referenced class
+
+    def test_victim_prefers_unreferenced(self):
+        p = NRU()
+        p.on_insert(1)
+        p.on_insert(2)
+        victim = p.select_victim([1, 2])  # both referenced -> bits clear
+        assert victim in (1, 2)
+        assert set(p.drain_score_updates()) == {1, 2}
+        # Now both unreferenced; touching 1 protects it.
+        p.on_access(1)
+        assert p.select_victim([1, 2]) == 2
+
+    def test_scope_clear_reported(self):
+        p = NRU()
+        for a in (1, 2, 3):
+            p.on_insert(a)
+        p.select_victim([1, 2, 3])
+        changed = p.drain_score_updates()
+        assert set(changed) == {1, 2, 3}
+        assert p.drain_score_updates() == []
+
+    def test_unreferenced_class_has_higher_score(self):
+        p = NRU()
+        p.on_insert(1)
+        p.on_insert(2)
+        p.select_victim([1, 2])  # clears both bits
+        p.on_access(1)
+        assert p.score(2) > p.score(1)
+
+    def test_lifecycle_errors(self):
+        p = NRU()
+        p.on_insert(1)
+        with pytest.raises(ValueError):
+            p.on_insert(1)
+        with pytest.raises(KeyError):
+            p.on_access(9)
+        with pytest.raises(KeyError):
+            p.on_evict(9)
+
+    def test_factory_and_cache_integration(self):
+        import random
+
+        from repro.core import Cache, ZCacheArray
+
+        cache = Cache(ZCacheArray(4, 16, levels=2, hash_seed=1), make_policy("nru"))
+        rng = random.Random(0)
+        for _ in range(3_000):
+            cache.access(rng.randrange(400))
+        cache.array.check_invariants()
+        assert cache.stats.evictions > 0
+
+    def test_tracked_nru_stays_consistent(self):
+        import random
+
+        from repro.assoc import TrackedPolicy
+        from repro.core import Cache, SkewAssociativeArray
+
+        tracked = TrackedPolicy(NRU())
+        cache = Cache(SkewAssociativeArray(4, 16, hash_seed=2), tracked)
+        rng = random.Random(1)
+        for _ in range(3_000):
+            cache.access(rng.randrange(400))
+        for addr in cache.resident():
+            assert tracked._mirror[addr] == (tracked.inner.score(addr), addr)

@@ -1,0 +1,63 @@
+"""Tests for CMP and L2 design configuration."""
+
+import pytest
+
+from repro.sim import CMPConfig, L2DesignConfig
+
+
+class TestL2Design:
+    def test_labels(self):
+        assert L2DesignConfig(kind="z", ways=4, levels=3).label() == "Z4/52-S"
+        assert L2DesignConfig(kind="skew", ways=4).label() == "SK-4-S"
+        assert (
+            L2DesignConfig(kind="sa", ways=16, hash_kind="h3").label()
+            == "SA-16h-S"
+        )
+        assert (
+            L2DesignConfig(kind="sa", ways=4, hash_kind="bitsel",
+                           parallel_lookup=True).label()
+            == "SA-4-P"
+        )
+
+    def test_rejects_levels_on_sa(self):
+        with pytest.raises(ValueError):
+            L2DesignConfig(kind="sa", levels=2)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            L2DesignConfig(kind="victim")
+
+
+class TestCMPConfig:
+    def test_default_geometry_consistent(self):
+        cfg = CMPConfig()
+        assert cfg.bank_blocks * cfg.l2_banks == cfg.l2_blocks
+        assert cfg.bank_lines_per_way * cfg.l2_design.ways == cfg.bank_blocks
+
+    def test_paper_scale_is_table1(self):
+        cfg = CMPConfig.paper_scale()
+        assert cfg.l2_blocks * cfg.line_bytes == 8 << 20
+        assert cfg.l1_blocks * cfg.line_bytes == 32 << 10
+        assert cfg.num_cores == 32
+        assert cfg.l2_banks == 8
+        assert cfg.mem_latency == 200
+
+    def test_line_transfer_cycles(self):
+        # 64 GB/s over 4 MCs at 2 GHz: 8 B/cycle/MC -> 8 cycles per line.
+        assert CMPConfig().line_transfer_cycles == pytest.approx(8.0)
+
+    def test_rejects_nonsquare_geometry(self):
+        with pytest.raises(ValueError):
+            CMPConfig(l2_blocks=1000)  # not divisible into 8 banks cleanly
+
+    def test_with_design(self):
+        cfg = CMPConfig()
+        z = L2DesignConfig(kind="z", ways=4, levels=2)
+        cfg2 = cfg.with_design(z)
+        assert cfg2.l2_design == z
+        assert cfg.l2_design.kind == "sa"  # original untouched
+
+    def test_design_must_fit_banks(self):
+        with pytest.raises(ValueError):
+            # 512-block banks cannot hold 3-way power-of-two ways.
+            CMPConfig(l2_design=L2DesignConfig(kind="sa", ways=3))

@@ -1,0 +1,85 @@
+"""Tests for the MESI-style directory."""
+
+import pytest
+
+from repro.sim import Directory
+
+
+class TestFill:
+    def test_read_fill_adds_sharer(self):
+        d = Directory(4)
+        assert d.fill(100, core=1, is_write=False) == []
+        assert d.sharers(100) == {1}
+
+    def test_multiple_readers_share(self):
+        d = Directory(4)
+        d.fill(100, 0, False)
+        d.fill(100, 1, False)
+        assert d.sharers(100) == {0, 1}
+        assert d.is_shared(100)
+
+    def test_write_fill_invalidates_others(self):
+        d = Directory(4)
+        d.fill(100, 0, False)
+        d.fill(100, 1, False)
+        victims = d.fill(100, 2, is_write=True)
+        assert sorted(victims) == [0, 1]
+        assert d.sharers(100) == {2}
+        assert d.stats.invalidations_sent == 2
+
+    def test_rejects_bad_core(self):
+        with pytest.raises(ValueError):
+            Directory(2).fill(1, core=5, is_write=False)
+
+
+class TestUpgrade:
+    def test_upgrade_invalidates_other_sharers(self):
+        d = Directory(4)
+        d.fill(7, 0, False)
+        d.fill(7, 1, False)
+        victims = d.upgrade(7, core=0)
+        assert victims == [1]
+        assert d.sharers(7) == {0}
+        assert d.stats.upgrades == 1
+
+    def test_upgrade_sole_owner_is_free(self):
+        d = Directory(4)
+        d.fill(7, 0, False)
+        assert d.upgrade(7, 0) == []
+        assert d.stats.upgrades == 0
+
+    def test_upgrade_nonsharer_rejected(self):
+        d = Directory(4)
+        d.fill(7, 0, False)
+        with pytest.raises(KeyError):
+            d.upgrade(7, core=1)
+
+
+class TestEvictions:
+    def test_l1_eviction_silent(self):
+        d = Directory(4)
+        d.fill(9, 0, False)
+        d.fill(9, 1, False)
+        d.l1_eviction(9, 0)
+        assert d.sharers(9) == {1}
+
+    def test_l1_eviction_last_sharer_clears_entry(self):
+        d = Directory(4)
+        d.fill(9, 0, False)
+        d.l1_eviction(9, 0)
+        assert d.sharers(9) == frozenset()
+
+    def test_l1_eviction_untracked_tolerated(self):
+        Directory(4).l1_eviction(42, 0)  # no raise
+
+    def test_inclusion_invalidate_clears_all(self):
+        d = Directory(4)
+        for c in (0, 2, 3):
+            d.fill(9, c, False)
+        victims = d.inclusion_invalidate(9)
+        assert victims == [0, 2, 3]
+        assert d.sharers(9) == frozenset()
+        assert d.stats.invalidations_sent == 3
+
+    def test_inclusion_invalidate_missing_is_empty(self):
+        assert Directory(4).inclusion_invalidate(9) == []

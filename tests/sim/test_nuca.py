@@ -1,0 +1,112 @@
+"""Tests for the optional NUCA distance-based latency model."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim import CMPConfig, TraceDrivenRunner
+from repro.workloads import get_workload
+
+
+class TestLatencyFunction:
+    def test_default_is_fixed_average(self):
+        cfg = CMPConfig()
+        lats = {
+            cfg.l1_to_bank_latency(core, bank)
+            for core in range(cfg.num_cores)
+            for bank in range(cfg.l2_banks)
+        }
+        assert lats == {cfg.l1_to_l2_latency}
+
+    def test_hops_create_spread(self):
+        cfg = CMPConfig(nuca_hop_cycles=1.0)
+        near = cfg.l1_to_bank_latency(core=0, bank=0)
+        far = cfg.l1_to_bank_latency(core=0, bank=7)
+        assert far > near
+
+    def test_mean_close_to_configured_average(self):
+        cfg = CMPConfig(nuca_hop_cycles=1.0)
+        lats = [
+            cfg.l1_to_bank_latency(core, bank)
+            for core in range(cfg.num_cores)
+            for bank in range(cfg.l2_banks)
+        ]
+        mean = sum(lats) / len(lats)
+        assert mean == pytest.approx(cfg.l1_to_l2_latency, abs=1.0)
+
+    def test_latency_floor(self):
+        cfg = CMPConfig(l1_to_l2_latency=1, nuca_hop_cycles=3.0)
+        for bank in range(8):
+            assert cfg.l1_to_bank_latency(0, bank) >= 1
+
+
+class TestEndToEnd:
+    def test_nuca_changes_timing_not_misses(self):
+        base = CMPConfig()
+        nuca = dataclasses.replace(base, nuca_hop_cycles=2.0)
+        workload = get_workload("gcc")
+        r_base = TraceDrivenRunner(
+            base, workload, instructions_per_core=800, seed=3
+        ).replay(base)
+        r_nuca = TraceDrivenRunner(
+            nuca, workload, instructions_per_core=800, seed=3
+        ).replay(nuca)
+        assert r_base.l2_misses == r_nuca.l2_misses  # functional identity
+        assert r_base.total_cycles != r_nuca.total_cycles  # timing differs
+
+
+class TestBankQueueing:
+    def test_disabled_by_default(self):
+        from repro.sim import TraceDrivenRunner
+        from repro.workloads import get_workload
+
+        cfg = CMPConfig()
+        r = TraceDrivenRunner(
+            cfg, get_workload("gcc"), instructions_per_core=600, seed=3
+        ).replay(cfg)
+        assert r.bank_queueing_cycles == 0
+
+    def test_contention_slows_and_is_counted(self):
+        import dataclasses
+
+        from repro.sim import TraceDrivenRunner
+        from repro.workloads import get_workload
+
+        base = CMPConfig()
+        contended = dataclasses.replace(base, bank_queueing=True)
+        workload = get_workload("canneal")
+        r_base = TraceDrivenRunner(
+            base, workload, instructions_per_core=800, seed=3
+        ).replay(base)
+        r_cont = TraceDrivenRunner(
+            contended, workload, instructions_per_core=800, seed=3
+        ).replay(contended)
+        assert r_cont.bank_queueing_cycles > 0
+        assert r_cont.total_cycles >= r_base.total_cycles
+        assert r_cont.l2_misses == r_base.l2_misses  # functional identity
+
+    def test_design_level_candidate_limit(self):
+        from repro.sim import L2DesignConfig, TraceDrivenRunner
+        from repro.workloads import get_workload
+
+        cfg = CMPConfig()
+        runner = TraceDrivenRunner(
+            cfg, get_workload("canneal"), instructions_per_core=800, seed=3
+        )
+        full = runner.replay(
+            cfg.with_design(L2DesignConfig(kind="z", ways=4, levels=3))
+        )
+        capped = runner.replay(
+            cfg.with_design(
+                L2DesignConfig(kind="z", ways=4, levels=3, candidate_limit=8)
+            )
+        )
+        assert capped.walk_tag_reads < full.walk_tag_reads
+
+    def test_candidate_limit_rejected_for_sa(self):
+        import pytest
+
+        from repro.sim import L2DesignConfig
+
+        with pytest.raises(ValueError):
+            L2DesignConfig(kind="sa", candidate_limit=8)

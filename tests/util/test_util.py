@@ -1,0 +1,123 @@
+"""Tests for the shared substrates: Bloom filter, sorted multiset, stats."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import BloomFilter, SortedMultiset, empirical_cdf, geometric_mean
+from repro.util.statistics import ks_distance
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(num_bits=2048, num_hashes=3)
+        keys = list(range(0, 1000, 7))
+        for k in keys:
+            bf.add(k)
+        assert all(k in bf for k in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        bf = BloomFilter(num_bits=4096, num_hashes=3)
+        for k in range(200):
+            bf.add(k)
+        fps = sum(1 for k in range(10_000, 12_000) if k in bf)
+        assert fps / 2000 < 0.05
+
+    def test_clear(self):
+        bf = BloomFilter(64)
+        bf.add(1)
+        bf.clear()
+        assert 1 not in bf
+        assert len(bf) == 0
+
+    def test_optimal_hash_count_from_hint(self):
+        bf = BloomFilter(num_bits=1000, expected_items=100)
+        assert bf.num_hashes == round(math.log(2) * 10)
+
+    def test_theoretical_fpr_monotone(self):
+        bf = BloomFilter(256, num_hashes=2)
+        rates = []
+        for k in range(50):
+            bf.add(k)
+            rates.append(bf.false_positive_rate())
+        assert rates == sorted(rates)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+        with pytest.raises(ValueError):
+            BloomFilter(64, num_hashes=0)
+
+
+class TestSortedMultiset:
+    def test_rank_counts_strictly_less(self):
+        ms = SortedMultiset([1, 3, 3, 5])
+        assert ms.rank(1) == 0
+        assert ms.rank(3) == 1
+        assert ms.rank(4) == 3
+        assert ms.rank(99) == 4
+
+    def test_add_remove_contains(self):
+        ms = SortedMultiset()
+        ms.add(2)
+        ms.add(2)
+        assert 2 in ms
+        ms.remove(2)
+        assert 2 in ms
+        ms.remove(2)
+        assert 2 not in ms
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            SortedMultiset([1]).remove(9)
+
+    def test_min_max(self):
+        ms = SortedMultiset([5, 1, 9])
+        assert ms.min() == 1
+        assert ms.max() == 9
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            SortedMultiset().min()
+
+    @given(st.lists(st.integers(-50, 50), max_size=60))
+    def test_matches_reference_semantics(self, xs):
+        ms = SortedMultiset()
+        ref: list[int] = []
+        for x in xs:
+            ms.add(x)
+            ref.append(x)
+        ref.sort()
+        assert list(ms) == ref
+        for probe in (-51, 0, 51):
+            assert ms.rank(probe) == sum(1 for v in ref if v < probe)
+
+
+class TestStatistics:
+    def test_geometric_mean_basic(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([5]) == pytest.approx(5.0)
+
+    def test_geometric_mean_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empirical_cdf(self):
+        cdf = empirical_cdf([0.1, 0.5, 0.9], [0.0, 0.1, 0.5, 1.0])
+        assert list(cdf) == [0.0, pytest.approx(1 / 3), pytest.approx(2 / 3), 1.0]
+
+    def test_empirical_cdf_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([], [0.5])
+
+    def test_ks_distance_of_uniform_sample(self):
+        xs = [(i + 0.5) / 1000 for i in range(1000)]
+        assert ks_distance(xs, lambda x: x) < 0.01
+
+    def test_ks_distance_detects_mismatch(self):
+        xs = [0.9] * 100
+        assert ks_distance(xs, lambda x: x) > 0.8

@@ -1,0 +1,140 @@
+"""Tests for trace analysis: stack distances, reuse profiles, windows."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Cache, FullyAssociativeArray
+from repro.replacement import LRU
+from repro.util.fenwick import FenwickTree
+from repro.workloads.analysis import (
+    COLD,
+    reuse_profile,
+    stack_distances,
+    working_set_curve,
+)
+
+
+class TestFenwick:
+    def test_basic_sums(self):
+        t = FenwickTree(8)
+        t.add(0, 3)
+        t.add(5, 2)
+        assert t.prefix_sum(0) == 3
+        assert t.prefix_sum(4) == 3
+        assert t.prefix_sum(7) == 5
+        assert t.range_sum(1, 5) == 2
+        assert t.total() == 5
+
+    def test_bounds_checked(self):
+        t = FenwickTree(4)
+        with pytest.raises(IndexError):
+            t.add(4, 1)
+        with pytest.raises(IndexError):
+            t.prefix_sum(4)
+        with pytest.raises(ValueError):
+            FenwickTree(0)
+
+    @given(st.lists(st.tuples(st.integers(0, 31), st.integers(-5, 5)), max_size=60))
+    @settings(max_examples=50)
+    def test_matches_naive(self, updates):
+        t = FenwickTree(32)
+        ref = [0] * 32
+        for idx, delta in updates:
+            t.add(idx, delta)
+            ref[idx] += delta
+        for q in (0, 7, 15, 31):
+            assert t.prefix_sum(q) == sum(ref[: q + 1])
+
+
+class TestStackDistances:
+    def test_known_sequence(self):
+        # a b c a: 'a' re-referenced after {b, c} -> distance 2.
+        assert stack_distances([1, 2, 3, 1]) == [COLD, COLD, COLD, 2]
+
+    def test_immediate_rereference(self):
+        assert stack_distances([5, 5]) == [COLD, 0]
+
+    def test_repeats_do_not_inflate(self):
+        # a b b a: distinct-since-a = {b} -> distance 1.
+        assert stack_distances([1, 2, 2, 1]) == [COLD, COLD, 0, 1]
+
+    def test_empty(self):
+        assert stack_distances([]) == []
+
+    @given(st.lists(st.integers(0, 20), max_size=120))
+    @settings(max_examples=60)
+    def test_matches_naive_definition(self, trace):
+        got = stack_distances(trace)
+        last: dict[int, int] = {}
+        for t, addr in enumerate(trace):
+            if addr in last:
+                expected = len(set(trace[last[addr] + 1 : t]))
+                assert got[t] == expected
+            else:
+                assert got[t] == COLD
+            last[addr] = t
+
+
+class TestReuseProfile:
+    def test_miss_rate_curve_matches_simulation(self):
+        # The Mattson property: the analytic curve equals a simulated
+        # fully-associative LRU cache at every capacity.
+        rng = random.Random(0)
+        trace = [rng.randrange(60) for _ in range(4_000)]
+        profile = reuse_profile(trace)
+        for capacity in (4, 16, 48):
+            cache = Cache(FullyAssociativeArray(capacity), LRU())
+            for addr in trace:
+                cache.access(addr)
+            assert profile.miss_rate_at(capacity) == pytest.approx(
+                cache.stats.miss_rate
+            )
+
+    def test_footprint_and_cold(self):
+        profile = reuse_profile([1, 2, 3, 1, 2, 3])
+        assert profile.footprint == 3
+        assert profile.cold_misses == 3
+
+    def test_curve_monotone_nonincreasing(self):
+        rng = random.Random(1)
+        trace = [rng.randrange(100) for _ in range(3_000)]
+        curve = reuse_profile(trace).miss_rate_curve([1, 2, 4, 8, 16, 32, 64])
+        assert all(a >= b - 1e-12 for a, b in zip(curve, curve[1:]))
+
+    def test_median_reuse_distance(self):
+        profile = reuse_profile([1, 2, 1, 2, 1, 2])
+        assert profile.median_reuse_distance() == 1.0
+
+    def test_median_of_cold_only_trace(self):
+        assert reuse_profile([1, 2, 3]).median_reuse_distance() == float("inf")
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            reuse_profile([1]).miss_rate_at(-1)
+
+
+class TestWorkingSetCurve:
+    def test_windows(self):
+        curve = working_set_curve([1, 1, 2, 3, 3, 3], window=3)
+        assert curve == [2, 1]
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            working_set_curve([1], window=0)
+
+    def test_phased_workload_visible(self):
+        from repro.workloads.patterns import working_set_phases
+        import itertools
+
+        trace = itertools.islice(
+            working_set_phases(
+                100_000, ws_fraction=0.001, phase_length=500,
+                locality=1.0, seed=2,
+            ),
+            3_000,
+        )
+        curve = working_set_curve(trace, window=500)
+        assert max(curve) <= 110  # each phase confined to ~100 blocks

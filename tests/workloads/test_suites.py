@@ -1,0 +1,132 @@
+"""Tests for workload specs and the 72-workload roster."""
+
+import itertools
+
+import pytest
+
+from repro.workloads import (
+    MIX_NAMES,
+    PARSEC,
+    SPEC2006,
+    SPECOMP,
+    WORKLOADS,
+    WorkloadSpec,
+    get_workload,
+    roster,
+)
+from repro.workloads.spec import CORE_ADDRESS_STRIDE, SHARED_ADDRESS_BASE
+
+
+def take(it, n):
+    return list(itertools.islice(it, n))
+
+
+class TestRoster:
+    def test_72_workloads(self):
+        assert len(WORKLOADS) == 72
+        assert len(roster()) == 72
+
+    def test_suite_counts_match_paper(self):
+        assert len(PARSEC) == 6
+        assert len(SPECOMP) == 10
+        assert len(SPEC2006) == 26
+        assert len(MIX_NAMES) == 30
+
+    def test_lookup(self):
+        assert get_workload("canneal").name == "canneal"
+        with pytest.raises(KeyError):
+            get_workload("doom")
+
+    def test_parsec_multithreaded_spec2006_not(self):
+        assert all(w.multithreaded for w in PARSEC)
+        assert all(w.multithreaded for w in SPECOMP)
+        assert all(not w.multithreaded for w in SPEC2006)
+
+    def test_mixes_draw_from_spec2006(self):
+        mix = get_workload("cpu2K6rand0")
+        member_names = {m.name for m in mix.members}
+        spec_names = {s.name for s in SPEC2006}
+        assert member_names <= spec_names
+        assert len(mix.members) == 32
+
+    def test_mixes_differ(self):
+        a = [m.name for m in get_workload("cpu2K6rand0").members]
+        b = [m.name for m in get_workload("cpu2K6rand1").members]
+        assert a != b
+
+    def test_describe_all(self):
+        for spec in WORKLOADS.values():
+            assert spec.name in spec.describe() or spec.suite == "mix"
+
+
+class TestSpecValidation:
+    def test_rejects_bad_mem_ratio(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                name="x", suite="t", multithreaded=False,
+                mem_ratio=0.0, write_frac=0.1,
+                patterns=(((1.0, {"kind": "uniform"})),),
+            )
+
+    def test_rejects_sharing_without_multithreading(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                name="x", suite="t", multithreaded=False,
+                mem_ratio=0.3, write_frac=0.1,
+                patterns=((1.0, {"kind": "uniform"}),),
+                sharing_frac=0.5,
+            )
+
+    def test_rejects_empty_patterns(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                name="x", suite="t", multithreaded=False,
+                mem_ratio=0.3, write_frac=0.1, patterns=(),
+            )
+
+
+class TestStreams:
+    def test_deterministic(self):
+        w = get_workload("mcf")
+        a = take(w.core_stream(0, 4096, seed=5), 100)
+        b = take(w.core_stream(0, 4096, seed=5), 100)
+        assert a == b
+
+    def test_cores_have_disjoint_private_spaces(self):
+        w = get_workload("mcf")  # multiprogrammed: fully private
+        a = {x.address for x in take(w.core_stream(0, 4096, seed=1), 2000)}
+        b = {x.address for x in take(w.core_stream(1, 4096, seed=1), 2000)}
+        assert not (a & b)
+        assert all(x < CORE_ADDRESS_STRIDE for x in a)
+        assert all(CORE_ADDRESS_STRIDE <= x < 2 * CORE_ADDRESS_STRIDE for x in b)
+
+    def test_multithreaded_share_addresses(self):
+        w = get_workload("streamcluster")  # sharing_frac = 0.4
+        a = {x.address for x in take(w.core_stream(0, 4096, seed=1), 4000)}
+        b = {x.address for x in take(w.core_stream(1, 4096, seed=1), 4000)}
+        shared = {x for x in a & b if x >= SHARED_ADDRESS_BASE}
+        assert shared, "multithreaded workloads must share blocks"
+
+    def test_write_fraction_calibrated(self):
+        w = get_workload("lbm")
+        accs = take(w.core_stream(0, 4096, seed=2), 20_000)
+        frac = sum(1 for a in accs if a.is_write) / len(accs)
+        assert frac == pytest.approx(w.write_frac, abs=0.03)
+
+    def test_mem_ratio_calibrated(self):
+        w = get_workload("gcc")
+        accs = take(w.core_stream(0, 4096, seed=3), 20_000)
+        mean_gap = sum(a.gap for a in accs) / len(accs)
+        assert mean_gap == pytest.approx(1 / w.mem_ratio - 1, rel=0.1)
+
+    def test_mix_core_stream_uses_member(self):
+        mix = get_workload("cpu2K6rand3")
+        member = mix.members[5]
+        mix_accs = take(mix.core_stream(5, 4096, seed=1), 50)
+        member_accs = take(member.core_stream(5, 4096, seed=1), 50)
+        assert mix_accs == member_accs
+
+    def test_gaps_non_negative(self):
+        for name in ("canneal", "povray", "cpu2K6rand2"):
+            for acc in take(get_workload(name).core_stream(0, 4096), 500):
+                assert acc.gap >= 0

@@ -1,0 +1,60 @@
+"""Tests for the trace file format."""
+
+import itertools
+
+import pytest
+
+from repro.workloads import get_workload
+from repro.workloads.spec import CoreAccess
+from repro.workloads.traceio import dumps_trace, load_trace, parse_trace, save_trace
+
+
+def sample_accesses(n=200):
+    spec = get_workload("gcc")
+    return list(itertools.islice(spec.core_stream(0, 1024, seed=1), n))
+
+
+class TestRoundTrip:
+    def test_plain_file(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        accesses = sample_accesses()
+        assert save_trace(path, accesses, comment="gcc core 0") == len(accesses)
+        assert list(load_trace(path)) == accesses
+
+    def test_gzip_file(self, tmp_path):
+        path = tmp_path / "trace.txt.gz"
+        accesses = sample_accesses()
+        save_trace(path, accesses)
+        assert list(load_trace(path)) == accesses
+        # compressed traces must actually be gzip
+        with open(path, "rb") as f:
+            assert f.read(2) == b"\x1f\x8b"
+
+    def test_dumps_parse_roundtrip(self):
+        accesses = sample_accesses(50)
+        text = dumps_trace(accesses)
+        assert list(parse_trace(text.splitlines())) == accesses
+
+
+class TestValidation:
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="line 1"):
+            list(parse_trace(["hello world"]))
+
+    def test_bad_rw_flag_rejected(self):
+        with pytest.raises(ValueError):
+            list(parse_trace(["3 1f x"]))
+
+    def test_bad_numbers_rejected(self):
+        with pytest.raises(ValueError):
+            list(parse_trace(["three 1f r"]))
+        with pytest.raises(ValueError):
+            list(parse_trace(["-1 1f r"]))
+
+    def test_comments_and_blanks_skipped(self):
+        lines = ["# header", "", "2 ff w", "# trailing"]
+        assert list(parse_trace(lines)) == [CoreAccess(2, 255, True)]
+
+    def test_save_rejects_invalid_records(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trace(tmp_path / "x.txt", [CoreAccess(-1, 0, False)])
