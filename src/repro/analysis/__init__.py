@@ -1,0 +1,37 @@
+"""Correctness tooling: static lint rules + runtime invariant sanitizer.
+
+Two independent prongs guard the simulator's invariants:
+
+- :mod:`repro.analysis.lint` — ZSan, a custom AST lint engine with
+  repository-specific rules (seeded-randomness discipline, float
+  equality, the replacement-policy contract, hot-path dataclass slots,
+  wall-clock/global-state hygiene). Run via ``zcache-repro lint``.
+- :mod:`repro.analysis.sanitizer` — :class:`SanitizedArray`, a runtime
+  proxy that re-verifies walk-tree well-formedness, map↔array
+  synchronisation, tag uniqueness, and block conservation after every
+  array operation. Run via ``zcache-repro check --sanitize``.
+
+See the "Analysis & sanitizer layer" section of
+``docs/architecture.md``.
+"""
+
+from repro.analysis.lint import Finding, LintEngine, LintReport, LintRule
+from repro.analysis.sanitizer import (
+    VIOLATION_KINDS,
+    InvariantViolation,
+    SanitizedArray,
+    make_wrapper,
+    sanitize,
+)
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "LintRule",
+    "InvariantViolation",
+    "SanitizedArray",
+    "VIOLATION_KINDS",
+    "sanitize",
+    "make_wrapper",
+]

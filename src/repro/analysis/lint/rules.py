@@ -1,0 +1,455 @@
+"""The repository rule set, codes ZS001–ZS005.
+
+Each rule encodes one of the simulator's correctness conventions; the
+rationale for every code lives in ``docs/lint_rules.md``. Rules are
+pure AST checks — no imports of the checked code are performed, so the
+linter can run on broken trees and fixtures safely.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.analysis.lint.engine import (
+    Finding,
+    LintRule,
+    LintSource,
+    register_rule,
+)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Resolve an attribute chain to ``root.attr.attr`` or None.
+
+    ``np.random.rand`` -> ``"np.random.rand"``; anything rooted in a
+    call or subscript resolves to None (not a plain module reference).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _import_aliases(tree: ast.Module, module: str) -> set[str]:
+    """Local names bound to ``module`` by ``import`` statements."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    names.add(alias.asname or module.split(".")[0])
+    return names
+
+
+@register_rule
+class UnseededRandomness(LintRule):
+    """ZS001: all randomness must flow through a seeded ``random.Random``.
+
+    The determinism contract (``tests/test_determinism.py``) requires
+    every simulation to be bit-reproducible from explicit seeds. Calls
+    into the process-global RNG — ``random.random()``,
+    ``random.choice()``, ``random.seed()``, ``numpy.random.rand()`` and
+    friends — or an *unseeded* ``random.Random()`` break that contract
+    silently: results drift between runs with no error.
+    """
+
+    code = "ZS001"
+    name = "unseeded-randomness"
+    summary = "randomness must come from an injected, seeded random.Random"
+
+    #: names importable from ``random`` without tripping the rule
+    _SAFE_FROM_RANDOM = frozenset({"Random", "SystemRandom"})
+    #: numpy.random attributes that are seedable-by-construction
+    _SAFE_FROM_NP_RANDOM = frozenset({"Generator", "SeedSequence", "default_rng"})
+
+    def check(self, src: LintSource) -> Iterator[Finding]:
+        """Flag global-RNG imports and calls in ``src``."""
+        tree = src.tree
+        random_names = _import_aliases(tree, "random")
+        numpy_names = _import_aliases(tree, "numpy")
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(src, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(src, node, random_names, numpy_names)
+
+    def _check_import_from(
+        self, src: LintSource, node: ast.ImportFrom
+    ) -> Iterator[Finding]:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in self._SAFE_FROM_RANDOM:
+                    yield self.finding(
+                        src,
+                        node,
+                        f"'from random import {alias.name}' binds the "
+                        "process-global RNG; import random.Random and seed it",
+                    )
+        elif node.module in ("numpy.random", "numpy"):
+            for alias in node.names:
+                if node.module == "numpy" and alias.name != "random":
+                    continue
+                if (
+                    node.module == "numpy.random"
+                    and alias.name in self._SAFE_FROM_NP_RANDOM
+                ):
+                    continue
+                yield self.finding(
+                    src,
+                    node,
+                    "importing numpy's global random state; use "
+                    "numpy.random.default_rng(seed) and pass the generator",
+                )
+
+    def _check_call(
+        self,
+        src: LintSource,
+        node: ast.Call,
+        random_names: set[str],
+        numpy_names: set[str],
+    ) -> Iterator[Finding]:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        root, tail = parts[0], parts[-1]
+        if root in random_names and len(parts) == 2:
+            if tail == "SystemRandom":
+                return
+            if tail == "Random":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        src,
+                        node,
+                        "random.Random() without a seed is nondeterministic; "
+                        "pass an explicit seed",
+                    )
+                return
+            yield self.finding(
+                src,
+                node,
+                f"random.{tail}() uses the process-global RNG; thread a "
+                "seeded random.Random through instead",
+            )
+        elif root in numpy_names and len(parts) >= 3 and parts[1] == "random":
+            if tail in ("Generator", "SeedSequence"):
+                return
+            if tail == "default_rng":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        src,
+                        node,
+                        "numpy.random.default_rng() without a seed is "
+                        "nondeterministic; pass an explicit seed",
+                    )
+                return
+            yield self.finding(
+                src,
+                node,
+                f"numpy.random.{tail}() uses numpy's global RNG; use a "
+                "seeded default_rng(seed) generator",
+            )
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    """True for ``1.5`` and ``-1.5`` (unary minus of a float constant)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register_rule
+class FloatEquality(LintRule):
+    """ZS002: no ``==`` / ``!=`` against float literals.
+
+    The statistics and associativity pipelines accumulate floating
+    point; exact comparison against a float literal is almost always a
+    latent bug (``0.1 + 0.2 != 0.3``). Use ``math.isclose`` or an
+    explicit tolerance. Intentional sentinel comparisons can be
+    suppressed with ``# zsan: ignore[ZS002]``.
+    """
+
+    code = "ZS002"
+    name = "float-equality"
+    summary = "compare floats with math.isclose or a tolerance, not ==/!="
+
+    def check(self, src: LintSource) -> Iterator[Finding]:
+        """Flag ``==``/``!=`` comparisons with a float-literal operand."""
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for (left, right), op in zip(
+                zip(operands, operands[1:]), node.ops
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    sym = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        src,
+                        node,
+                        f"float literal compared with '{sym}'; use "
+                        "math.isclose or an explicit tolerance",
+                    )
+                    break
+
+
+@register_rule
+class PolicyContract(LintRule):
+    """ZS003: ``ReplacementPolicy`` subclasses must honour the contract.
+
+    Direct subclasses must override the four abstract hooks
+    (``on_insert``/``on_access``/``on_evict``/``score``), and no policy
+    method may mutate a ``candidates`` parameter — the controller owns
+    the candidate list and hands the same sequence to instrumentation
+    wrappers; a policy that sorts or pops it corrupts the measurement
+    path.
+    """
+
+    code = "ZS003"
+    name = "policy-contract"
+    summary = "policies override the abstract hooks and never mutate candidates"
+
+    REQUIRED_HOOKS = ("on_insert", "on_access", "on_evict", "score")
+    _MUTATORS = frozenset(
+        {"append", "extend", "insert", "remove", "pop", "clear", "sort", "reverse"}
+    )
+
+    def check(self, src: LintSource) -> Iterator[Finding]:
+        """Flag contract violations on every policy class in ``src``."""
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = {b for b in (_dotted(base) for base in node.bases) if b}
+            tails = {b.split(".")[-1] for b in bases}
+            if "ReplacementPolicy" not in tails:
+                continue
+            yield from self._check_hooks(src, node)
+            yield from self._check_mutation(src, node)
+
+    @staticmethod
+    def _is_abstract(node: ast.ClassDef) -> bool:
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for dec in item.decorator_list:
+                name = _dotted(dec)
+                if name and name.split(".")[-1] == "abstractmethod":
+                    return True
+        return False
+
+    def _check_hooks(
+        self, src: LintSource, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        if self._is_abstract(node):
+            return
+        defined = {
+            item.name
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        missing = [h for h in self.REQUIRED_HOOKS if h not in defined]
+        if missing:
+            yield self.finding(
+                src,
+                node,
+                f"policy class {node.name} does not override required "
+                f"hook(s): {', '.join(missing)}",
+            )
+
+    def _check_mutation(
+        self, src: LintSource, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for item in ast.walk(node):
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = item.args
+            params = {
+                a.arg
+                for a in (
+                    *args.posonlyargs, *args.args, *args.kwonlyargs,
+                )
+            }
+            if "candidates" not in params:
+                continue
+            for stmt in ast.walk(item):
+                bad = self._mutation_site(stmt)
+                if bad is not None:
+                    yield self.finding(
+                        src,
+                        stmt,
+                        f"method {item.name} mutates the 'candidates' "
+                        f"parameter ({bad}); copy it first",
+                    )
+
+    def _mutation_site(self, stmt: ast.AST) -> Optional[str]:
+        if isinstance(stmt, ast.Call):
+            func = stmt.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "candidates"
+                and func.attr in self._MUTATORS
+            ):
+                return f"candidates.{func.attr}()"
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets = (
+                stmt.targets
+                if isinstance(stmt, (ast.Assign, ast.Delete))
+                else [stmt.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "candidates"
+                ):
+                    return "item assignment"
+                if (
+                    isinstance(stmt, ast.AugAssign)
+                    and isinstance(target, ast.Name)
+                    and target.id == "candidates"
+                ):
+                    return "augmented assignment"
+        return None
+
+
+@register_rule
+class DataclassSlots(LintRule):
+    """ZS004: ``core/`` dataclasses must declare ``slots=True``.
+
+    The hot paths allocate result and statistics objects per access;
+    ``slots=True`` cuts per-instance memory and speeds attribute access,
+    and rejects typo'd attribute writes that a ``__dict__`` would
+    silently absorb (exactly the failure mode a sanitizer exists to
+    catch).
+    """
+
+    code = "ZS004"
+    name = "dataclass-slots"
+    summary = "core/ dataclasses declare slots=True"
+
+    @classmethod
+    def applies_to(cls, path: Path) -> bool:
+        """Only files under a ``core`` directory are hot-path scoped."""
+        return "core" in path.parts
+
+    def check(self, src: LintSource) -> Iterator[Finding]:
+        """Flag ``@dataclass`` decorations lacking ``slots=True``."""
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for dec in node.decorator_list:
+                target = dec.func if isinstance(dec, ast.Call) else dec
+                name = _dotted(target)
+                if not name or name.split(".")[-1] != "dataclass":
+                    continue
+                if isinstance(dec, ast.Call) and any(
+                    kw.arg == "slots"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in dec.keywords
+                ):
+                    continue
+                yield self.finding(
+                    src,
+                    node,
+                    f"dataclass {node.name} in core/ must declare "
+                    "slots=True (hot-path allocation)",
+                )
+
+
+@register_rule
+class WallClockGlobalState(LintRule):
+    """ZS005: no wall-clock reads or ``global`` state in simulation logic.
+
+    Simulated time comes from the timeline model, never the host clock;
+    a ``time.time()`` in a simulation path makes results
+    machine-dependent. Likewise ``global`` statements introduce hidden
+    cross-run state that defeats seed-based reproducibility. The CLI
+    and the analysis tooling itself (which legitimately measure
+    wall-clock overhead) are out of scope.
+    """
+
+    code = "ZS005"
+    name = "wall-clock-global-state"
+    summary = "simulation logic reads no host clock and mutates no globals"
+
+    _WALLCLOCK = frozenset(
+        {
+            "time", "time_ns", "perf_counter", "perf_counter_ns",
+            "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+        }
+    )
+    _DATETIME = frozenset({"now", "utcnow", "today"})
+
+    @classmethod
+    def applies_to(cls, path: Path) -> bool:
+        """Everything except the CLI and the analysis layer itself."""
+        posix = path.as_posix()
+        if posix.endswith("repro/cli.py"):
+            return False
+        return "repro/analysis" not in posix
+
+    def check(self, src: LintSource) -> Iterator[Finding]:
+        """Flag host-clock reads, clock imports, and global statements."""
+        tree = src.tree
+        time_names = _import_aliases(tree, "time")
+        datetime_names = _import_aliases(tree, "datetime")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    src,
+                    node,
+                    "'global' statement mutates module state; pass state "
+                    "explicitly (seed-reproducibility contract)",
+                )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in self._WALLCLOCK:
+                            yield self.finding(
+                                src,
+                                node,
+                                f"'from time import {alias.name}' pulls the "
+                                "host clock into simulation logic",
+                            )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted is None:
+                    continue
+                parts = dotted.split(".")
+                if (
+                    len(parts) == 2
+                    and parts[0] in time_names
+                    and parts[1] in self._WALLCLOCK
+                ):
+                    yield self.finding(
+                        src,
+                        node,
+                        f"{dotted}() reads the host clock; simulated time "
+                        "comes from the timeline model",
+                    )
+                elif (
+                    len(parts) >= 2
+                    and parts[-1] in self._DATETIME
+                    and (
+                        parts[0] in datetime_names
+                        or "datetime" in parts[:-1]
+                        or parts[-2] in ("datetime", "date")
+                    )
+                ):
+                    yield self.finding(
+                        src,
+                        node,
+                        f"{dotted}() reads the wall clock; simulation "
+                        "results must not depend on the host date",
+                    )

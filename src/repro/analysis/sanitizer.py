@@ -1,0 +1,483 @@
+"""Runtime invariant sanitizer for cache arrays.
+
+:class:`SanitizedArray` wraps any :class:`~repro.core.base.CacheArray`
+and re-verifies, from the outside, the invariants the zcache's
+correctness rests on:
+
+- **Walk well-formedness** after every ``build_replacement`` /
+  ``build_reinsertion``: ancestor paths are acyclic, levels increase by
+  exactly one along parent links, a valid candidate's path never
+  revisits a position (the ``Candidate.valid`` contract — a repeat
+  "would corrupt relocation"), recorded addresses match the array, and
+  for hashed arrays every candidate sits at the hash of the relevant
+  address.
+- **State consistency** after every mutation: the address→position map
+  and the dense per-way line arrays agree exactly, no tag appears
+  twice, and for hashed arrays every resident block sits at its way's
+  hash of its address.
+- **Conservation** across ``commit_replacement``: the resident set
+  afterwards is exactly the resident set before, minus the evicted
+  block, plus the incoming one — relocations move blocks, they never
+  create or destroy them.
+
+Violations raise :class:`InvariantViolation`, a structured error
+carrying the violated invariant's ``kind``, the experiment ``seed``,
+and the tail of the access trace, so a failure can be replayed
+deterministically.
+
+Cost model: per-operation checks are O(walk) — proportional to work the
+array already did — while the O(cache) deep scan runs every
+``deep_check_interval`` commits (default 64) and on :meth:`final_check`.
+This keeps the sanitized Fig. 2 validation within the < 3x slowdown
+budget while still bounding how long a corruption can stay latent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.core.base import (
+    CacheArray,
+    Candidate,
+    CommitResult,
+    Position,
+    Replacement,
+)
+
+#: The invariant classes a :class:`SanitizedArray` distinguishes.
+VIOLATION_KINDS = (
+    "walk-cycle",
+    "walk-level",
+    "walk-parent",
+    "walk-repeat",
+    "walk-stale",
+    "walk-bounds",
+    "walk-hash",
+    "map-desync",
+    "duplicate-tag",
+    "hash-placement",
+    "conservation",
+)
+
+
+class InvariantViolation(RuntimeError):
+    """A cache-array invariant failed at runtime.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`VIOLATION_KINDS` — the invariant class that
+        failed (mutation tests key on this).
+    detail:
+        Human-readable specifics.
+    seed:
+        The experiment seed supplied to the wrapper, for replay.
+    trace:
+        The most recent ``(operation, address)`` events, oldest first.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        detail: str,
+        *,
+        seed: Optional[int] = None,
+        trace: tuple = (),
+    ) -> None:
+        if kind not in VIOLATION_KINDS:
+            raise ValueError(f"unknown violation kind: {kind!r}")
+        self.kind = kind
+        self.detail = detail
+        self.seed = seed
+        self.trace = tuple(trace)
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        lines = [f"[{self.kind}] {self.detail}"]
+        if self.seed is not None:
+            lines.append(f"replay: seed={self.seed}")
+        if self.trace:
+            tail = ", ".join(
+                f"{op}({addr:#x})" if isinstance(addr, int) else f"{op}({addr})"
+                for op, addr in self.trace[-8:]
+            )
+            lines.append(f"trace tail ({len(self.trace)} events): {tail}")
+        return "\n".join(lines)
+
+
+def _iter_path(cand: Candidate, limit: int) -> Iterator[Candidate]:
+    """Walk parent links from ``cand`` to the root, yielding each node.
+
+    Stops after ``limit`` nodes so a corrupted cyclic tree cannot hang
+    the checker; callers detect the truncation as a cycle.
+    """
+    node: Optional[Candidate] = cand
+    for _ in range(limit):
+        if node is None:
+            return
+        yield node
+        node = node.parent
+
+
+class SanitizedArray:
+    """Invariant-checking proxy around a :class:`CacheArray`.
+
+    Drop-in at the controller boundary: wrap the array before handing
+    it to :class:`~repro.core.controller.Cache` and every access runs
+    sanitized. Attribute reads and writes not intercepted here are
+    forwarded to the inner array, so array-specific surface
+    (``stats``, ``hashes``, ``candidate_limit`` …) keeps working.
+
+    Parameters
+    ----------
+    array:
+        The array to guard.
+    seed:
+        Experiment seed embedded in violations for replay.
+    trace_limit:
+        How many recent operations to retain for violation reports.
+    deep_check_interval:
+        Run the O(cache) full-state scan every N mutations
+        (``0`` disables periodic deep scans; per-operation local checks
+        still run, and :meth:`final_check` always scans).
+    """
+
+    _OWN = frozenset(
+        {
+            "_inner", "seed", "_trace", "_trace_limit",
+            "_deep_interval", "_mutations", "checks_run", "deep_scans",
+        }
+    )
+
+    def __init__(
+        self,
+        array: CacheArray,
+        *,
+        seed: Optional[int] = None,
+        trace_limit: int = 256,
+        deep_check_interval: int = 64,
+    ) -> None:
+        object.__setattr__(self, "_inner", array)
+        object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "_trace", [])
+        object.__setattr__(self, "_trace_limit", max(1, trace_limit))
+        object.__setattr__(self, "_deep_interval", deep_check_interval)
+        object.__setattr__(self, "_mutations", 0)
+        object.__setattr__(self, "checks_run", 0)
+        object.__setattr__(self, "deep_scans", 0)
+
+    # -- delegation ----------------------------------------------------------
+    @property
+    def array(self) -> CacheArray:
+        """The wrapped array (for direct inspection)."""
+        return self._inner
+
+    def __getattr__(self, name: str) -> Any:
+        """Forward anything not intercepted to the inner array."""
+        return getattr(self._inner, name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        """Route attribute writes to the inner array when it owns them.
+
+        Controllers tune the array through attributes (e.g.
+        ``AdaptiveZCache`` writes ``candidate_limit``); without this,
+        such writes would land on the wrapper and silently detach the
+        guarded array from its controller.
+        """
+        if name in self._OWN or not hasattr(self._inner, name):
+            object.__setattr__(self, name, value)
+        else:
+            setattr(self._inner, name, value)
+
+    def __contains__(self, address: int) -> bool:
+        """Residency test, forwarded."""
+        return address in self._inner
+
+    def __len__(self) -> int:
+        """Resident block count, forwarded."""
+        return len(self._inner)
+
+    # -- trace ----------------------------------------------------------------
+    def _note(self, op: str, address: int) -> None:
+        self._trace.append((op, address))
+        if len(self._trace) > self._trace_limit:
+            del self._trace[: -self._trace_limit]
+
+    def _fail(self, kind: str, detail: str) -> None:
+        raise InvariantViolation(
+            kind, detail, seed=self.seed, trace=tuple(self._trace)
+        )
+
+    # -- intercepted operations ----------------------------------------------
+    def build_replacement(self, address: int) -> Replacement:
+        """Run the walk, then verify the candidate tree (see module doc)."""
+        self._note("build", address)
+        repl = self._inner.build_replacement(address)
+        self.check_walk(repl)
+        return repl
+
+    def build_reinsertion(self, address: int) -> Replacement:
+        """Run a reinsertion walk (two-phase arrays), then verify it."""
+        self._note("reinsert", address)
+        repl = self._inner.build_reinsertion(address)
+        self.check_walk(repl)
+        return repl
+
+    def commit_replacement(
+        self, repl: Replacement, chosen: Candidate
+    ) -> CommitResult:
+        """Commit, then verify conservation and relocation-path state."""
+        self._note("commit", repl.incoming)
+        before = len(self._inner)
+        was_resident = repl.incoming in self._inner
+        result = self._inner.commit_replacement(repl, chosen)
+        self._check_commit(repl, chosen, result, before, was_resident)
+        self._after_mutation()
+        return result
+
+    def commit_reinsertion(
+        self, repl: Replacement, chosen: Candidate
+    ) -> CommitResult:
+        """Commit a reinsertion move, then run the state checks."""
+        self._note("commit-reinsert", repl.incoming)
+        result = self._inner.commit_reinsertion(repl, chosen)
+        self._after_mutation()
+        return result
+
+    def evict_address(self, address: int) -> None:
+        """Forcibly evict, then verify the block is fully gone."""
+        self._note("evict", address)
+        self._inner.evict_address(address)
+        if self._inner.lookup(address) is not None:
+            self._fail(
+                "map-desync",
+                f"evicted block {address:#x} still resolves in the map",
+            )
+        self._after_mutation()
+
+    # -- checks ----------------------------------------------------------------
+    def _after_mutation(self) -> None:
+        self._mutations += 1
+        if self._deep_interval and self._mutations % self._deep_interval == 0:
+            self.deep_check()
+
+    def check_walk(self, repl: Replacement) -> None:
+        """Verify a candidate tree is well-formed against current state.
+
+        Public so tests can feed hand-corrupted trees directly.
+        """
+        self.checks_run += 1
+        cap = len(repl.candidates) + self._inner.num_ways + 1
+        hashes = getattr(self._inner, "hashes", None)
+        for cand in repl.candidates:
+            self._check_candidate(repl, cand, cap, hashes)
+
+    def _check_candidate(
+        self,
+        repl: Replacement,
+        cand: Candidate,
+        cap: int,
+        hashes: Optional[list],
+    ) -> None:
+        pos = cand.position
+        if not (
+            0 <= pos.way < self._inner.num_ways
+            and 0 <= pos.index < self._inner.lines_per_way
+        ):
+            self._fail("walk-bounds", f"candidate position {pos} out of bounds")
+        # Parent-link structure: acyclic, levels decreasing by one.
+        seen: set[int] = set()
+        path = []
+        for node in _iter_path(cand, cap):
+            if id(node) in seen:
+                self._fail(
+                    "walk-cycle",
+                    f"ancestor chain of candidate at {pos} revisits a node "
+                    f"(level {node.level})",
+                )
+            seen.add(id(node))
+            path.append(node)
+        if path[-1].parent is not None:
+            self._fail(
+                "walk-cycle",
+                f"ancestor chain of candidate at {pos} exceeds "
+                f"{cap} nodes without reaching a root",
+            )
+        for node in path:
+            parent = node.parent
+            if parent is None:
+                if node.level != 0:
+                    self._fail(
+                        "walk-level",
+                        f"root candidate at {node.position} has level "
+                        f"{node.level}, expected 0",
+                    )
+            else:
+                if node.level != parent.level + 1:
+                    self._fail(
+                        "walk-level",
+                        f"candidate at {node.position} has level "
+                        f"{node.level} but its parent has level "
+                        f"{parent.level}",
+                    )
+                if parent.address is None:
+                    self._fail(
+                        "walk-parent",
+                        f"candidate at {node.position} expands an empty "
+                        f"slot at {parent.position}",
+                    )
+        if cand.valid:
+            positions = [node.position for node in path]
+            if len(set(positions)) != len(positions):
+                self._fail(
+                    "walk-repeat",
+                    f"valid candidate at {pos} has a relocation path that "
+                    "revisits a position (must be flagged invalid)",
+                )
+        # Recorded contents must match the array (walks do not mutate).
+        actual = self._inner._read(pos)
+        if actual != cand.address:
+            self._fail(
+                "walk-stale",
+                f"candidate records {cand.address!r} at {pos} but the "
+                f"array holds {actual!r}",
+            )
+        # Hash discipline: each candidate sits at the hash of the
+        # address whose relocation would land there.
+        if hashes is not None:
+            source = cand.parent.address if cand.parent else repl.incoming
+            if source is not None:
+                expected = hashes[pos.way](source)
+                if pos.index != expected:
+                    self._fail(
+                        "walk-hash",
+                        f"candidate at {pos} is not the way-{pos.way} hash "
+                        f"of {source:#x} (expected index {expected})",
+                    )
+
+    def _check_commit(
+        self,
+        repl: Replacement,
+        chosen: Candidate,
+        result: CommitResult,
+        len_before: int,
+        was_resident: bool,
+    ) -> None:
+        self.checks_run += 1
+        inner = self._inner
+        # Conservation: installed +1, evicted -1 (when a block was evicted).
+        expected = len_before + (0 if was_resident else 1)
+        if result.evicted is not None:
+            expected -= 1
+        if len(inner) != expected:
+            self._fail(
+                "conservation",
+                f"resident count {len(inner)} after commit, expected "
+                f"{expected} (before={len_before}, "
+                f"evicted={result.evicted!r})",
+            )
+        if result.evicted is not None and inner.lookup(result.evicted) is not None:
+            self._fail(
+                "conservation",
+                f"evicted block {result.evicted:#x} is still resident",
+            )
+        # The incoming block must land at the relocation path's root.
+        root = chosen
+        for root in _iter_path(chosen, len(repl.candidates) + inner.num_ways + 1):
+            pass
+        pos = inner.lookup(repl.incoming)
+        if pos is None:
+            self._fail(
+                "conservation",
+                f"incoming block {repl.incoming:#x} not resident after commit",
+            )
+        elif pos != root.position:
+            self._fail(
+                "map-desync",
+                f"incoming block {repl.incoming:#x} at {pos}, expected the "
+                f"path root {root.position}",
+            )
+        # Every relocated block moved exactly one step down the path.
+        node = chosen
+        while node.parent is not None:
+            moved = node.parent.address
+            if moved is not None and inner.lookup(moved) != node.position:
+                self._fail(
+                    "map-desync",
+                    f"relocated block {moved:#x} is not at {node.position} "
+                    "after commit",
+                )
+            node = node.parent
+
+    def deep_check(self) -> None:
+        """Full O(cache) scan: map↔lines sync, tag uniqueness, hashing."""
+        self.deep_scans += 1
+        inner = self._inner
+        seen: dict[int, Position] = {}
+        for way in range(inner.num_ways):
+            line = inner._lines[way]
+            for index in range(inner.lines_per_way):
+                addr = line[index]
+                if addr is None:
+                    continue
+                pos = Position(way, index)
+                if addr in seen:
+                    self._fail(
+                        "duplicate-tag",
+                        f"block {addr:#x} stored at both {seen[addr]} "
+                        f"and {pos}",
+                    )
+                seen[addr] = pos
+                mapped = inner._pos.get(addr)
+                if mapped != pos:
+                    self._fail(
+                        "map-desync",
+                        f"line {pos} holds {addr:#x} but the map says "
+                        f"{mapped!r}",
+                    )
+        stale = set(inner._pos) - set(seen)
+        if stale:
+            addr = next(iter(stale))
+            self._fail(
+                "map-desync",
+                f"map entry {addr:#x} -> {inner._pos[addr]} points at a "
+                "line that does not hold it",
+            )
+        hashes = getattr(inner, "hashes", None)
+        if hashes is not None:
+            for addr, pos in inner._pos.items():
+                expected = hashes[pos.way](addr)
+                if pos.index != expected:
+                    self._fail(
+                        "hash-placement",
+                        f"block {addr:#x} at index {pos.index} of way "
+                        f"{pos.way}, but hashes to {expected}",
+                    )
+
+    def final_check(self) -> None:
+        """Deep scan to run once at end of experiment (always O(cache))."""
+        self.deep_check()
+
+
+def sanitize(
+    array: CacheArray, seed: Optional[int] = None, **kwargs: Any
+) -> SanitizedArray:
+    """Convenience wrapper: ``sanitize(arr, seed)`` == ``SanitizedArray``.
+
+    Usable directly as the ``wrap_array`` hook experiments expose::
+
+        fig2.run(wrap_array=lambda a: sanitize(a, seed=0))
+    """
+    return SanitizedArray(array, seed=seed, **kwargs)
+
+
+def make_wrapper(
+    seed: Optional[int] = None, **kwargs: Any
+) -> Callable[[CacheArray], SanitizedArray]:
+    """A ``wrap_array`` callable pre-bound to a seed and options."""
+
+    def wrap(array: CacheArray) -> SanitizedArray:
+        """Wrap one array with the captured sanitizer options."""
+        return SanitizedArray(array, seed=seed, **kwargs)
+
+    return wrap

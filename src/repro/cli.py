@@ -6,6 +6,12 @@ Examples::
     zcache-repro fig3 --instructions 4000
     zcache-repro fig4 --workloads canneal,cactusADM --instructions 5000
     zcache-repro roster
+    zcache-repro lint src/repro
+    zcache-repro check --sanitize
+
+``lint`` and ``check`` are the correctness-tooling subcommands (the
+ZSan static analyzer and the runtime invariant sanitizer; see
+``docs/lint_rules.md``); everything else regenerates a paper artifact.
 """
 
 from __future__ import annotations
@@ -27,10 +33,26 @@ def _scale_from_args(args) -> ExperimentScale:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # The analysis subcommands own their argument parsing (they take
+    # paths and flags the experiment parser must not see).
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import run_lint
+
+        return run_lint(argv[1:])
+    if argv and argv[0] == "check":
+        from repro.analysis.cli import run_check
+
+        return run_check(argv[1:])
     parser = argparse.ArgumentParser(
         prog="zcache-repro",
         description="Reproduce the tables and figures of the zcache paper "
         "(Sanchez & Kozyrakis, MICRO 2010).",
+        epilog="Additional subcommands: 'zcache-repro lint [paths...]' "
+        "(ZSan static analysis, rules ZS001-ZS005) and 'zcache-repro "
+        "check --sanitize' (runtime invariant sanitizer); each has its "
+        "own --help.",
     )
     parser.add_argument(
         "experiment",

@@ -31,7 +31,7 @@ from repro.core.zcache import ZCacheArray
 from repro.replacement.base import ReplacementPolicy
 
 
-@dataclass
+@dataclass(slots=True)
 class AdaptiveStats:
     """Epoch history for analysis and the ablation bench."""
 

@@ -72,7 +72,7 @@ class Candidate:
         return path
 
 
-@dataclass
+@dataclass(slots=True)
 class Replacement:
     """The outcome of a candidate-collection phase for one miss."""
 
@@ -105,7 +105,7 @@ class Replacement:
         return best
 
 
-@dataclass
+@dataclass(slots=True)
 class CommitResult:
     """What committing a replacement did."""
 

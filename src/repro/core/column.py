@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class ColumnStats:
     accesses: int = 0
     first_probe_hits: int = 0

@@ -25,7 +25,7 @@ from repro.core.base import CacheArray, Candidate, Replacement
 from repro.replacement.base import ReplacementPolicy
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of a single cache access."""
 
@@ -40,7 +40,7 @@ class AccessResult:
     bypassed: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Cumulative controller statistics.
 

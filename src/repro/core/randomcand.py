@@ -14,7 +14,13 @@ from __future__ import annotations
 
 import random
 
-from repro.core.base import CacheArray, Candidate, Position, Replacement
+from repro.core.base import (
+    CacheArray,
+    Candidate,
+    CommitResult,
+    Position,
+    Replacement,
+)
 
 
 class RandomCandidatesArray(CacheArray):
@@ -55,7 +61,9 @@ class RandomCandidatesArray(CacheArray):
             repl.tag_reads += 1
         return repl
 
-    def commit_replacement(self, repl, chosen):
+    def commit_replacement(
+        self, repl: Replacement, chosen: Candidate
+    ) -> CommitResult:
         result = super().commit_replacement(repl, chosen)
         self._free.discard(chosen.position.index)
         return result

@@ -28,7 +28,7 @@ T_DATA_WRITE = 4
 T_MEMORY = 100
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TimelineEvent:
     """One scheduled operation."""
 
@@ -38,7 +38,7 @@ class TimelineEvent:
     label: str
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplacementTimeline:
     events: list
 

@@ -24,7 +24,7 @@ from repro.core.setassoc import SetAssociativeArray
 from repro.replacement import LRU
 
 
-@dataclass
+@dataclass(slots=True)
 class MergedStats:
     """Hit/miss view over the composite (buffer hits count as hits)."""
 
@@ -42,7 +42,7 @@ class MergedStats:
         return self.hits / self.accesses if self.accesses else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class VictimCacheStats:
     """Counters specific to the composite design."""
 

@@ -31,7 +31,13 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.core.base import CacheArray, Candidate, Position, Replacement
+from repro.core.base import (
+    CacheArray,
+    Candidate,
+    CommitResult,
+    Position,
+    Replacement,
+)
 from repro.hashing.base import HashFunction, make_hash_family
 from repro.util.bloom import BloomFilter
 
@@ -78,7 +84,7 @@ def levels_for_candidates(num_ways: int, target: int) -> int:
     return levels
 
 
-@dataclass
+@dataclass(slots=True)
 class WalkStats:
     """Cumulative replacement-walk statistics."""
 
@@ -306,7 +312,9 @@ class ZCacheArray(CacheArray):
         self.stats.candidates += len(repl.candidates)
         return repl
 
-    def commit_reinsertion(self, repl: Replacement, chosen: Candidate):
+    def commit_reinsertion(
+        self, repl: Replacement, chosen: Candidate
+    ) -> CommitResult:
         """Move the (resident) block of ``repl.incoming`` into the slot
         freed by evicting ``chosen``, relocating the path between them.
 
@@ -388,7 +396,9 @@ class ZCacheArray(CacheArray):
                 return
             node = self._rng.choice(expandable)
 
-    def commit_replacement(self, repl, chosen):
+    def commit_replacement(
+        self, repl: Replacement, chosen: Candidate
+    ) -> "CommitResult":
         result = super().commit_replacement(repl, chosen)
         self.stats.relocations += result.relocations
         self.stats.record_commit_level(chosen.level)

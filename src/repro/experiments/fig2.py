@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -54,8 +55,15 @@ def run(
     accesses: int = 60_000,
     footprint_mult: int = 8,
     seed: int = 0,
+    wrap_array: Optional[Callable] = None,
 ) -> Fig2Result:
-    """Generate Fig. 2's curves and validate them by simulation."""
+    """Generate Fig. 2's curves and validate them by simulation.
+
+    ``wrap_array`` optionally wraps each simulated array before it is
+    handed to the controller — the hook ``zcache-repro check
+    --sanitize`` uses to run this experiment under the runtime
+    invariant sanitizer without perturbing it.
+    """
     xs = np.linspace(0.0, 1.0, 101)
     analytic = {}
     simulated = {}
@@ -63,7 +71,10 @@ def run(
         cdf = uniformity_cdf(n)
         analytic[n] = np.array([cdf(x) for x in xs])
         tracked = TrackedPolicy(LRU())
-        cache = Cache(RandomCandidatesArray(cache_blocks, n, seed=seed + n), tracked)
+        array = RandomCandidatesArray(cache_blocks, n, seed=seed + n)
+        if wrap_array is not None:
+            array = wrap_array(array)
+        cache = Cache(array, tracked)
         rng = random.Random(seed + n)
         footprint = cache_blocks * footprint_mult
         for _ in range(accesses):

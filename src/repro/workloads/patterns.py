@@ -9,6 +9,7 @@ All randomness is seeded — the same spec always produces the same trace.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Iterator, Sequence
 
@@ -63,7 +64,9 @@ def zipf(footprint: int, skew: float = 1.1, seed: int = 0) -> Iterator[int]:
     """
     if footprint < 1:
         raise ValueError(f"footprint must be >= 1, got {footprint}")
-    if skew <= 0 or skew == 1.0:
+    if skew <= 0 or math.isclose(skew, 1.0):
+        # skew ~ 1 makes the inverse-CDF exponent vanish (span -> 0);
+        # anything isclose to 1 is numerically degenerate, not just 1.0.
         raise ValueError(f"skew must be positive and != 1, got {skew}")
     rng = random.Random(seed)
     # A fixed random permutation decouples popularity rank from address

@@ -1,0 +1,11 @@
+"""ZSan fixture: a core/ dataclass without slots=True (ZS004)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class HotPathStats:
+    """Allocated per access; must declare slots=True."""
+
+    hits: int = 0
+    misses: int = 0

@@ -1,0 +1,11 @@
+"""ZSan fixture: every statement here violates ZS001 (never imported)."""
+
+import random
+
+
+def pick(items):
+    """Draw from the process-global RNG (forbidden)."""
+    random.seed(123)
+    unseeded = random.Random()
+    value = random.random() + unseeded.random()
+    return random.choice(items), value

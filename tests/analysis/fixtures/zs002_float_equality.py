@@ -1,0 +1,8 @@
+"""ZSan fixture: float-literal equality comparisons (ZS002)."""
+
+
+def converged(miss_rate, delta):
+    """Exact float comparisons (forbidden)."""
+    if miss_rate == 0.25:
+        return True
+    return delta != 0.0

@@ -1,0 +1,17 @@
+"""ZSan fixture: a ReplacementPolicy violating the contract (ZS003)."""
+
+
+class ReplacementPolicy:
+    """Stand-in base so the fixture never needs the real package."""
+
+
+class BrokenPolicy(ReplacementPolicy):
+    """Misses on_access/on_evict/score AND mutates the candidate list."""
+
+    def on_insert(self, address):
+        """Only hook implemented."""
+
+    def select_victim(self, candidates):
+        """Sorting the controller's list corrupts instrumentation."""
+        candidates.sort()
+        return candidates.pop()

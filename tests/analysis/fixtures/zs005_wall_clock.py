@@ -1,0 +1,12 @@
+"""ZSan fixture: wall-clock reads and global state (ZS005)."""
+
+import time
+
+_EPOCH = 0
+
+
+def stamp_epoch():
+    """Host-clock read plus a global mutation (both forbidden)."""
+    global _EPOCH
+    _EPOCH = time.time()
+    return _EPOCH

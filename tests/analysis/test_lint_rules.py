@@ -1,0 +1,245 @@
+"""Per-rule tests: each fixture trips its rule, clean variants do not.
+
+The fixture files under ``tests/analysis/fixtures/`` are intentionally
+violating (the acceptance contract is that ``zcache-repro lint`` exits
+non-zero with the right code on every one of them); the negative and
+suppression cases live inline as strings so the fixtures directory
+stays all-positive.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import LintEngine
+from repro.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture file -> the code it must raise
+FIXTURE_CODES = {
+    "zs001_unseeded_random.py": "ZS001",
+    "zs002_float_equality.py": "ZS002",
+    "zs003_policy_contract.py": "ZS003",
+    "core/zs004_dataclass_slots.py": "ZS004",
+    "zs005_wall_clock.py": "ZS005",
+}
+
+
+def lint(text: str, path: str = "x.py") -> set[str]:
+    """Codes found in an inline snippet."""
+    return {f.code for f in LintEngine().lint_text(text, path)}
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("rel,code", sorted(FIXTURE_CODES.items()))
+    def test_fixture_trips_its_rule(self, rel, code):
+        findings = LintEngine().lint_file(FIXTURES / rel)
+        assert findings, f"{rel} produced no findings"
+        assert {f.code for f in findings} == {code}
+
+    @pytest.mark.parametrize("rel,code", sorted(FIXTURE_CODES.items()))
+    def test_cli_exits_nonzero_with_code(self, rel, code, capsys):
+        exit_code = cli_main(["lint", str(FIXTURES / rel)])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert code in out
+
+    def test_every_fixture_is_covered(self):
+        on_disk = {
+            str(p.relative_to(FIXTURES))
+            for p in FIXTURES.rglob("*.py")
+        }
+        assert on_disk == set(FIXTURE_CODES)
+
+
+class TestZS001UnseededRandomness:
+    def test_global_calls_flagged(self):
+        assert lint("import random\nrandom.shuffle([1])\n") == {"ZS001"}
+
+    def test_aliased_import_flagged(self):
+        assert lint("import random as rnd\nx = rnd.random()\n") == {"ZS001"}
+
+    def test_unseeded_random_instance_flagged(self):
+        assert lint("import random\nr = random.Random()\n") == {"ZS001"}
+
+    def test_seeded_random_instance_clean(self):
+        assert lint("import random\nr = random.Random(42)\n") == set()
+
+    def test_from_import_of_global_function_flagged(self):
+        assert lint("from random import choice\n") == {"ZS001"}
+
+    def test_from_import_of_random_class_clean(self):
+        assert lint("from random import Random\nr = Random(1)\n") == set()
+
+    def test_numpy_global_rng_flagged(self):
+        assert lint("import numpy as np\nx = np.random.rand(3)\n") == {"ZS001"}
+
+    def test_numpy_default_rng_seeded_clean(self):
+        text = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert lint(text) == set()
+
+    def test_numpy_default_rng_unseeded_flagged(self):
+        text = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert lint(text) == {"ZS001"}
+
+    def test_method_call_on_instance_clean(self):
+        text = (
+            "import random\n"
+            "rng = random.Random(3)\n"
+            "x = rng.choice([1, 2])\n"
+        )
+        assert lint(text) == set()
+
+
+class TestZS002FloatEquality:
+    def test_eq_against_float_literal_flagged(self):
+        assert lint("ok = x == 1.5\n") == {"ZS002"}
+
+    def test_neq_against_negative_float_flagged(self):
+        assert lint("ok = x != -0.5\n") == {"ZS002"}
+
+    def test_chained_comparison_flagged(self):
+        assert lint("ok = 0 <= x == 0.3\n") == {"ZS002"}
+
+    def test_int_equality_clean(self):
+        assert lint("ok = x == 3\n") == set()
+
+    def test_float_ordering_clean(self):
+        assert lint("ok = x < 1.5 or x >= 0.5\n") == set()
+
+    def test_isclose_suggested_pattern_clean(self):
+        assert lint("import math\nok = math.isclose(x, 1.5)\n") == set()
+
+
+POLICY_HEADER = "class ReplacementPolicy:\n    pass\n\n\n"
+
+
+class TestZS003PolicyContract:
+    def test_missing_hooks_flagged(self):
+        text = POLICY_HEADER + (
+            "class P(ReplacementPolicy):\n"
+            "    def on_insert(self, address):\n"
+            "        pass\n"
+        )
+        assert lint(text) == {"ZS003"}
+
+    def test_complete_policy_clean(self):
+        text = POLICY_HEADER + (
+            "class P(ReplacementPolicy):\n"
+            "    def on_insert(self, address): pass\n"
+            "    def on_access(self, address, is_write=False): pass\n"
+            "    def on_evict(self, address): pass\n"
+            "    def score(self, address): return 0\n"
+        )
+        assert lint(text) == set()
+
+    def test_abstract_subclass_exempt_from_hooks(self):
+        text = (
+            "import abc\n\n\n" + POLICY_HEADER +
+            "class P(ReplacementPolicy):\n"
+            "    @abc.abstractmethod\n"
+            "    def extra(self): ...\n"
+        )
+        assert lint(text) == set()
+
+    def test_candidates_mutation_flagged(self):
+        text = POLICY_HEADER + (
+            "class P(ReplacementPolicy):\n"
+            "    def on_insert(self, address): pass\n"
+            "    def on_access(self, address, is_write=False): pass\n"
+            "    def on_evict(self, address): pass\n"
+            "    def score(self, address): return 0\n"
+            "    def select_victim(self, candidates):\n"
+            "        candidates.sort()\n"
+            "        return candidates[0]\n"
+        )
+        assert lint(text) == {"ZS003"}
+
+    def test_candidates_item_assignment_flagged(self):
+        text = POLICY_HEADER + (
+            "class P(ReplacementPolicy):\n"
+            "    def on_insert(self, address): pass\n"
+            "    def on_access(self, address, is_write=False): pass\n"
+            "    def on_evict(self, address): pass\n"
+            "    def score(self, address): return 0\n"
+            "    def select_victim(self, candidates):\n"
+            "        candidates[0] = None\n"
+            "        return None\n"
+        )
+        assert lint(text) == {"ZS003"}
+
+    def test_copy_then_sort_clean(self):
+        text = POLICY_HEADER + (
+            "class P(ReplacementPolicy):\n"
+            "    def on_insert(self, address): pass\n"
+            "    def on_access(self, address, is_write=False): pass\n"
+            "    def on_evict(self, address): pass\n"
+            "    def score(self, address): return 0\n"
+            "    def select_victim(self, candidates):\n"
+            "        ordered = sorted(candidates)\n"
+            "        return ordered[0]\n"
+        )
+        assert lint(text) == set()
+
+    def test_unrelated_class_clean(self):
+        assert lint("class Widget:\n    def on_insert(self): pass\n") == set()
+
+
+DATACLASS_BAD = (
+    "from dataclasses import dataclass\n\n\n"
+    "@dataclass\n"
+    "class Stats:\n"
+    "    hits: int = 0\n"
+)
+
+
+class TestZS004DataclassSlots:
+    def test_bare_dataclass_in_core_flagged(self):
+        engine = LintEngine()
+        findings = engine.lint_text(DATACLASS_BAD, "src/repro/core/x.py")
+        assert {f.code for f in findings} == {"ZS004"}
+
+    def test_slots_true_clean(self):
+        text = DATACLASS_BAD.replace("@dataclass", "@dataclass(slots=True)")
+        assert (
+            LintEngine().lint_text(text, "src/repro/core/x.py") == []
+        )
+
+    def test_frozen_without_slots_flagged(self):
+        text = DATACLASS_BAD.replace("@dataclass", "@dataclass(frozen=True)")
+        findings = LintEngine().lint_text(text, "src/repro/core/x.py")
+        assert {f.code for f in findings} == {"ZS004"}
+
+    def test_outside_core_not_scoped(self):
+        assert LintEngine().lint_text(DATACLASS_BAD, "src/repro/viz/x.py") == []
+
+
+class TestZS005WallClockGlobalState:
+    def test_time_time_flagged(self):
+        assert lint("import time\nt = time.time()\n") == {"ZS005"}
+
+    def test_perf_counter_flagged(self):
+        assert lint("import time\nt = time.perf_counter()\n") == {"ZS005"}
+
+    def test_from_time_import_flagged(self):
+        assert lint("from time import monotonic\n") == {"ZS005"}
+
+    def test_datetime_now_flagged(self):
+        text = "import datetime\nd = datetime.datetime.now()\n"
+        assert lint(text) == {"ZS005"}
+
+    def test_global_statement_flagged(self):
+        assert lint("x = 0\ndef f():\n    global x\n    x = 1\n") == {"ZS005"}
+
+    def test_time_sleep_clean(self):
+        assert lint("import time\ntime.sleep(0)\n") == set()
+
+    def test_cli_module_out_of_scope(self):
+        text = "import time\nt = time.time()\n"
+        assert LintEngine().lint_text(text, "src/repro/cli.py") == []
+
+    def test_analysis_package_out_of_scope(self):
+        text = "import time\nt = time.time()\n"
+        path = "src/repro/analysis/cli.py"
+        assert LintEngine().lint_text(text, path) == []

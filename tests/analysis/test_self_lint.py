@@ -1,0 +1,32 @@
+"""Self-lint: the library must stay clean under its own rules.
+
+This is the enforcement half of the ZSan deal — the rules only have
+teeth if the tree is kept at zero findings, so CI (and this test) pin
+``zcache-repro lint src/repro`` to a clean exit.
+"""
+
+from pathlib import Path
+
+from repro.analysis.lint import LintEngine
+from repro.cli import main as cli_main
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_source_tree_is_lint_clean():
+    report = LintEngine().lint_paths([SRC])
+    assert report.files_checked > 50
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert not report.findings, f"src/repro has lint findings:\n{rendered}"
+
+
+def test_cli_lint_exits_zero_on_source_tree(capsys):
+    assert cli_main(["lint", str(SRC)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_lint_rules_listing(capsys):
+    assert cli_main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("ZS001", "ZS002", "ZS003", "ZS004", "ZS005"):
+        assert code in out
