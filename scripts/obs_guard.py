@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""CI guard: the ZScope null path must not slow the simulator down.
+
+The observability layer's contract is that *not* asking for metrics or
+traces costs (nearly) nothing: components built without an
+``ObsContext`` register into private registries through cached Counter
+objects and cache a disabled trace bus as ``None``. This script pins
+that contract against ``benchmarks/obs_baseline.json``, which records
+the same two tiny workloads measured on the commit *before* the layer
+landed.
+
+Raw seconds are machine-dependent, so everything is normalized by a
+pure-Python calibration loop (dict/list churn, the same flavour as the
+simulator hot loop): the guarded quantity is
+``workload_seconds / calibration_seconds``. The check fails when a
+ratio exceeds baseline x max_regression (1.15 -- slack for timer noise
+on shared CI runners; the acceptance bar for the layer itself is <=5%).
+
+Usage::
+
+    python scripts/obs_guard.py            # check against the baseline
+    python scripts/obs_guard.py --update   # rewrite the baseline ratios
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "obs_baseline.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def calibration(iterations: int) -> float:
+    """Seconds for the pure-python dict/list churn reference loop."""
+    t0 = time.perf_counter()
+    d: dict[int, int] = {}
+    lst = [0] * 64
+    for i in range(iterations):
+        k = (i * 2654435761) & 0xFFFF
+        d[k] = i
+        if len(d) > 4096:
+            d.pop(next(iter(d)))
+        lst[i & 63] += 1
+    return time.perf_counter() - t0
+
+
+def fig2_seconds(cfg: dict) -> float:
+    """Seconds for the small Fig. 2 run (no ObsContext: the null path)."""
+    from repro.experiments.fig2 import run as fig2_run
+
+    t0 = time.perf_counter()
+    fig2_run(
+        cache_blocks=cfg["cache_blocks"],
+        accesses=cfg["accesses"],
+        seed=cfg["seed"],
+    )
+    return time.perf_counter() - t0
+
+
+def sweep_seconds(cfg: dict) -> float:
+    """Seconds for the tiny design sweep (no ObsContext: the null path)."""
+    from repro.experiments.runner import (
+        ExperimentScale,
+        baseline_design,
+        run_design_sweep,
+    )
+    from repro.sim import L2DesignConfig
+
+    designs = [baseline_design(), L2DesignConfig(kind="z", ways=4, levels=2)]
+    scale = ExperimentScale(
+        instructions_per_core=cfg["instructions_per_core"], seed=cfg["seed"]
+    )
+    t0 = time.perf_counter()
+    run_design_sweep(cfg["workload"], designs, scale=scale)
+    return time.perf_counter() - t0
+
+
+def measure(baseline: dict, rounds: int = 5) -> dict[str, float]:
+    """Calibration-normalized ratios for both guarded workloads.
+
+    Rounds are interleaved (calibration, fig2, sweep, repeat) and each
+    series takes its min, so a slow spell on a shared runner hits the
+    numerator and denominator alike instead of skewing one ratio.
+    """
+    iters = baseline["calibration_iterations"]
+    calibration(iters)  # warm caches/imports out of the measurement
+    fig2_seconds(baseline["workloads"]["fig2"])
+    calibs, fig2s, sweeps = [], [], []
+    for _ in range(rounds):
+        calibs.append(calibration(iters))
+        fig2s.append(fig2_seconds(baseline["workloads"]["fig2"]))
+        sweeps.append(sweep_seconds(baseline["workloads"]["sweep"]))
+    calib, fig2, sweep = min(calibs), min(fig2s), min(sweeps)
+    print(f"calibration: {calib:.3f}s  fig2: {fig2:.3f}s  sweep: {sweep:.3f}s")
+    return {"fig2": fig2 / calib, "sweep": sweep / calib}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline ratios with this machine's measurement",
+    )
+    parser.add_argument(
+        "--src", type=str, default=None, metavar="DIR",
+        help="measure an alternative source tree (e.g. a git worktree of "
+        "the pre-obs commit, to re-record the baseline)",
+    )
+    args = parser.parse_args(argv)
+    if args.src:
+        sys.path.insert(0, str(Path(args.src).resolve()))
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    ratios = measure(baseline)
+
+    if args.update:
+        baseline["ratios"] = {k: round(v, 4) for k, v in ratios.items()}
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"baseline updated: {baseline['ratios']}")
+        return 0
+
+    limit = baseline["max_regression"]
+    failed = False
+    for name, ratio in ratios.items():
+        ref = baseline["ratios"][name]
+        rel = ratio / ref
+        verdict = "ok" if rel <= limit else "REGRESSION"
+        if rel > limit:
+            failed = True
+        print(
+            f"{name}: ratio {ratio:.4f} vs baseline {ref:.4f} "
+            f"({rel:.2f}x, limit {limit:.2f}x)  {verdict}"
+        )
+    if failed:
+        print("obs_guard: null-path overhead regressed beyond the budget")
+        return 1
+    print("obs_guard: null-path overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

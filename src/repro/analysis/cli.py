@@ -21,7 +21,7 @@ def run_lint(argv: list[str]) -> int:
     """``zcache-repro lint [paths...]`` — run ZSan; exit 1 on findings."""
     parser = argparse.ArgumentParser(
         prog="zcache-repro lint",
-        description="Run the ZSan AST lint rules (ZS001-ZS005) over "
+        description="Run the ZSan AST lint rules (ZS001-ZS006) over "
         "Python sources. Exits non-zero when any finding is reported.",
     )
     parser.add_argument(

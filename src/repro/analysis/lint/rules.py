@@ -1,4 +1,4 @@
-"""The repository rule set, codes ZS001–ZS005.
+"""The repository rule set, codes ZS001–ZS006.
 
 Each rule encodes one of the simulator's correctness conventions; the
 rationale for every code lives in ``docs/lint_rules.md``. Rules are
@@ -374,9 +374,10 @@ class WallClockGlobalState(LintRule):
     Simulated time comes from the timeline model, never the host clock;
     a ``time.time()`` in a simulation path makes results
     machine-dependent. Likewise ``global`` statements introduce hidden
-    cross-run state that defeats seed-based reproducibility. The CLI
-    and the analysis tooling itself (which legitimately measure
-    wall-clock overhead) are out of scope.
+    cross-run state that defeats seed-based reproducibility. The CLI,
+    the analysis tooling, and the observability layer (whose profiler
+    and heartbeat legitimately measure the simulator *process*) are out
+    of scope.
     """
 
     code = "ZS005"
@@ -393,9 +394,11 @@ class WallClockGlobalState(LintRule):
 
     @classmethod
     def applies_to(cls, path: Path) -> bool:
-        """Everything except the CLI and the analysis layer itself."""
+        """Everything except the CLI, analysis, and obs layers."""
         posix = path.as_posix()
         if posix.endswith("repro/cli.py"):
+            return False
+        if "repro/obs" in posix:
             return False
         return "repro/analysis" not in posix
 
@@ -453,3 +456,94 @@ class WallClockGlobalState(LintRule):
                         f"{dotted}() reads the wall clock; simulation "
                         "results must not depend on the host date",
                     )
+
+
+@register_rule
+class CounterBypass(LintRule):
+    """ZS006: hot-path counters go through the metrics registry.
+
+    Since the ZScope layer, every statistics counter in ``core/`` and
+    ``sim/`` is a registered :class:`~repro.obs.metrics.Counter`; the
+    sanctioned increment is ``counter.value += 1`` on a cached counter
+    reference (or through a :class:`~repro.obs.metrics.RegistryStats`
+    facade's ``counters()`` dict). A plain attribute increment —
+    ``self.stats.hits += 1`` or a bare ``self.total_misses += 1`` —
+    creates a shadow counter the registry never sees, so metric
+    snapshots, ``zcache-repro stats`` and trace summaries silently
+    under-report. Private epoch-local accumulators (underscore-prefixed)
+    are fine: they are bookkeeping, not reported statistics.
+    """
+
+    code = "ZS006"
+    name = "counter-bypass"
+    summary = "core/sim counters increment registered Counters, not attributes"
+
+    #: bare attribute names that are always reported statistics
+    _VOCAB = frozenset(
+        {
+            "accesses", "reads", "writes", "hits", "misses", "evictions",
+            "writebacks", "relocations", "invalidations", "walks",
+            "candidates", "repeats", "swaps", "epochs", "upgrades",
+        }
+    )
+    #: suffixes that mark an attribute as a counting statistic
+    _SUFFIXES = (
+        "_hits", "_misses", "_reads", "_writes", "_accesses", "_walks",
+        "_wins", "_retries", "_probes", "_overflows", "_sent", "_fills",
+    )
+
+    @classmethod
+    def applies_to(cls, path: Path) -> bool:
+        """Only the hot-path packages (``core``/``sim`` directories)."""
+        return "core" in path.parts or "sim" in path.parts
+
+    def check(self, src: LintSource) -> Iterator[Finding]:
+        """Flag ``+=``/``-=`` on counter-looking attributes."""
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.AugAssign):
+                continue
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                continue
+            message = self._bypass_message(node.target)
+            if message is not None:
+                yield self.finding(src, node, message)
+
+    def _bypass_message(self, target: ast.AST) -> Optional[str]:
+        node = target
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if not isinstance(node, ast.Attribute):
+            return None
+        name = node.attr
+        if name == "value":
+            # counter.value += 1 — the sanctioned registry increment.
+            return None
+        parent = node.value
+        # (a) anything incremented through a stats facade:
+        # self.stats.hits, cache.stats.data_writes, self.victim_stats.swaps
+        parent_name = None
+        if isinstance(parent, ast.Attribute):
+            parent_name = parent.attr
+        elif isinstance(parent, ast.Name):
+            parent_name = parent.id
+        if parent_name is not None and parent_name != "self" and (
+            parent_name == "stats" or parent_name.endswith("_stats")
+        ):
+            return (
+                f"'{parent_name}.{name} +=' bypasses the metrics registry; "
+                "increment the registered Counter's .value (see "
+                "repro.obs.metrics.RegistryStats.counters)"
+            )
+        # (b) a bare counter attribute on self: self.writeback_hits += 1
+        if (
+            isinstance(parent, ast.Name)
+            and parent.id == "self"
+            and not name.startswith("_")
+            and (name in self._VOCAB or name.endswith(self._SUFFIXES))
+        ):
+            return (
+                f"'self.{name} +=' keeps an ad-hoc counter the registry "
+                "never sees; register it (repro.obs.metrics) and increment "
+                "the Counter's .value"
+            )
+        return None

@@ -8,10 +8,15 @@ Examples::
     zcache-repro roster
     zcache-repro lint src/repro
     zcache-repro check --sanitize
+    zcache-repro stats fig2 --format json
+    zcache-repro trace fig2 --instructions 2000
 
 ``lint`` and ``check`` are the correctness-tooling subcommands (the
 ZSan static analyzer and the runtime invariant sanitizer; see
-``docs/lint_rules.md``); everything else regenerates a paper artifact.
+``docs/lint_rules.md``); ``stats`` and ``trace`` are the ZScope
+observability subcommands (metrics snapshots and JSONL event traces;
+see ``docs/observability.md``); everything else regenerates a paper
+artifact.
 """
 
 from __future__ import annotations
@@ -45,14 +50,24 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.cli import run_check
 
         return run_check(argv[1:])
+    if argv and argv[0] == "stats":
+        from repro.obs.cli import run_stats
+
+        return run_stats(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.obs.cli import run_trace
+
+        return run_trace(argv[1:])
     parser = argparse.ArgumentParser(
         prog="zcache-repro",
         description="Reproduce the tables and figures of the zcache paper "
         "(Sanchez & Kozyrakis, MICRO 2010).",
         epilog="Additional subcommands: 'zcache-repro lint [paths...]' "
-        "(ZSan static analysis, rules ZS001-ZS005) and 'zcache-repro "
-        "check --sanitize' (runtime invariant sanitizer); each has its "
-        "own --help.",
+        "(ZSan static analysis, rules ZS001-ZS006), 'zcache-repro "
+        "check --sanitize' (runtime invariant sanitizer), 'zcache-repro "
+        "stats <experiment>' (ZScope metrics snapshot) and 'zcache-repro "
+        "trace <experiment>' (JSONL event trace + offline summary); "
+        "each has its own --help.",
     )
     parser.add_argument(
         "experiment",

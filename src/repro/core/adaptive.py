@@ -24,25 +24,30 @@ bandwidth pressure.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.core.controller import AccessResult, Cache
 from repro.core.zcache import ZCacheArray
+from repro.obs import ObsContext
+from repro.obs.metrics import MetricsRegistry, RegistryStats
 from repro.replacement.base import ReplacementPolicy
 
 
-@dataclass(slots=True)
-class AdaptiveStats:
+class AdaptiveStats(RegistryStats):
     """Epoch history for analysis and the ablation bench."""
 
-    epochs: int = 0
-    premature_misses: int = 0
-    misses_observed: int = 0
+    _COUNTER_FIELDS = ("epochs", "premature_misses", "misses_observed")
+
     #: (epoch index, candidate limit after adjustment, premature fraction)
-    history: list = field(default_factory=list)
+    history: list
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        super().__init__(registry)
+        self.history = []
 
     @property
     def mean_limit(self) -> float:
+        """Average candidate limit across adaptation epochs."""
         if not self.history:
             return 0.0
         return sum(limit for _e, limit, _f in self.history) / len(self.history)
@@ -79,6 +84,7 @@ class AdaptiveZCache(Cache):
         shrink_threshold: float = 0.01,
         min_candidates: int | None = None,
         name: str = "adaptive-z",
+        obs: Optional[ObsContext] = None,
     ) -> None:
         if not isinstance(array, ZCacheArray):
             raise TypeError("AdaptiveZCache requires a ZCacheArray")
@@ -86,7 +92,7 @@ class AdaptiveZCache(Cache):
             raise ValueError("epoch_misses must be >= 1")
         if not 0.0 <= shrink_threshold <= grow_threshold <= 1.0:
             raise ValueError("need 0 <= shrink_threshold <= grow_threshold <= 1")
-        super().__init__(array, policy, name=name)
+        super().__init__(array, policy, name=name, obs=obs)
         self.epoch_misses = epoch_misses
         self.grow_threshold = grow_threshold
         self.shrink_threshold = shrink_threshold
@@ -105,7 +111,10 @@ class AdaptiveZCache(Cache):
         self._limit = self.max_candidates
         array.candidate_limit = self._limit
         self._shadow: OrderedDict[int, None] = OrderedDict()
-        self.adaptive_stats = AdaptiveStats()
+        self.adaptive_stats = AdaptiveStats(
+            self.stats.registry.scoped("adaptive")
+        )
+        self._ac = self.adaptive_stats.counters()
         self._epoch_premature = 0
         self._epoch_misses = 0
 
@@ -115,12 +124,12 @@ class AdaptiveZCache(Cache):
 
     def _fill(self, address: int) -> AccessResult:
         self._epoch_misses += 1
-        self.adaptive_stats.misses_observed += 1
+        self._ac["misses_observed"].value += 1
         if address in self._shadow:
             # The block was evicted recently: a premature eviction.
             del self._shadow[address]
             self._epoch_premature += 1
-            self.adaptive_stats.premature_misses += 1
+            self._ac["premature_misses"].value += 1
         result = super()._fill(address)
         if result.evicted is not None:
             self._shadow[result.evicted] = None
@@ -137,7 +146,7 @@ class AdaptiveZCache(Cache):
         elif fraction <= self.shrink_threshold:
             self._limit = max(self.min_candidates, self._limit // 2)
         self.array.candidate_limit = self._limit
-        self.adaptive_stats.epochs += 1
+        self._ac["epochs"].value += 1
         self.adaptive_stats.history.append(
             (self.adaptive_stats.epochs, self._limit, fraction)
         )

@@ -18,7 +18,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Iterator, NamedTuple, Optional
+from typing import TYPE_CHECKING, Iterator, NamedTuple, Optional
+
+if TYPE_CHECKING:
+    from repro.obs import ObsContext
+    from repro.obs.events import TraceBus
 
 
 class Position(NamedTuple):
@@ -128,6 +132,27 @@ class CacheArray(abc.ABC):
             [None] * lines_per_way for _ in range(num_ways)
         ]
         self._pos: dict[int, Position] = {}
+        # ZScope bindings; None/defaults until attach_obs is called.
+        self._trace: Optional["TraceBus"] = None
+        self._trace_label: str = type(self).__name__
+
+    # -- observability ------------------------------------------------------
+    def attach_obs(self, obs: "ObsContext", label: Optional[str] = None) -> None:
+        """Bind this array to an observability context.
+
+        Registers the array's geometry gauges under ``<scope>.array`` and
+        binds the trace bus so commits emit relocation events. Subclasses
+        extend this to register their own metrics (the zcache re-homes
+        its walk counters under ``<scope>.walk``), which resets those
+        counters — attach before use, as
+        :class:`~repro.core.controller.Cache` does.
+        """
+        self._trace = obs.trace if obs.trace.enabled else None
+        self._trace_label = label or obs.label or type(self).__name__
+        geometry = obs.metrics.scoped("array")
+        geometry.gauge("ways").set(self.num_ways)
+        geometry.gauge("lines_per_way").set(self.lines_per_way)
+        geometry.gauge("blocks").set(self.num_blocks)
 
     # -- storage primitives -------------------------------------------------
     def _read(self, pos: Position) -> Optional[int]:
@@ -218,6 +243,7 @@ class CacheArray(abc.ABC):
         if evicted is not None:
             self.evict_address(evicted)
         relocations = 0
+        trace = self._trace
         node = chosen
         while node.parent is not None:
             parent = node.parent
@@ -225,6 +251,11 @@ class CacheArray(abc.ABC):
             assert moving is not None, "internal walk nodes always hold a block"
             self.evict_address(moving)
             self._write(node.position, moving)
+            if trace is not None:
+                trace.relocation(
+                    self._trace_label, moving, parent.position, node.position,
+                    node.level,
+                )
             relocations += 1
             node = parent
         self._write(node.position, repl.incoming)

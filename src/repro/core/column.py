@@ -14,40 +14,56 @@ limited to two locations — are all observable through the statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.metrics import RegistryStats
+
+if TYPE_CHECKING:
+    from repro.obs import ObsContext
 
 
-@dataclass(slots=True)
-class ColumnStats:
-    accesses: int = 0
-    first_probe_hits: int = 0
-    second_probe_hits: int = 0
-    misses: int = 0
-    swaps: int = 0
-    writebacks: int = 0
+class ColumnStats(RegistryStats):
+    """Column-associative counters, backed by the metrics registry."""
+
+    _COUNTER_FIELDS = (
+        "accesses",
+        "first_probe_hits",
+        "second_probe_hits",
+        "misses",
+        "swaps",
+        "writebacks",
+    )
 
     @property
     def hits(self) -> int:
-        return self.first_probe_hits + self.second_probe_hits
+        """Total hits across both probes."""
+        c = self.counters()
+        return c["first_probe_hits"].value + c["second_probe_hits"].value
 
     @property
     def miss_rate(self) -> float:
-        return self.misses / self.accesses if self.accesses else 0.0
+        """Misses over accesses (0.0 before the first access)."""
+        c = self.counters()
+        accesses = c["accesses"].value
+        return c["misses"].value / accesses if accesses else 0.0
 
     @property
     def mean_probes_per_access(self) -> float:
         """Variable hit latency: 1 probe for primary hits, 2 otherwise."""
-        if not self.accesses:
+        c = self.counters()
+        accesses = c["accesses"].value
+        if not accesses:
             return 0.0
-        second = self.second_probe_hits + self.misses
-        return (self.first_probe_hits + 2 * second) / self.accesses
+        second = c["second_probe_hits"].value + c["misses"].value
+        return (c["first_probe_hits"].value + 2 * second) / accesses
 
 
 class ColumnAssociativeCache:
     """Direct-mapped array with primary/secondary rehash locations."""
 
-    def __init__(self, num_lines: int) -> None:
+    def __init__(
+        self, num_lines: int, obs: Optional["ObsContext"] = None
+    ) -> None:
         if num_lines < 2 or num_lines & (num_lines - 1):
             raise ValueError(
                 f"num_lines must be a power of two >= 2, got {num_lines}"
@@ -58,7 +74,8 @@ class ColumnAssociativeCache:
         self._rehash_bit: list[bool] = [False] * num_lines
         self._dirty: set[int] = set()
         self._flip = num_lines >> 1
-        self.stats = ColumnStats()
+        self.stats = ColumnStats(obs.metrics if obs is not None else None)
+        self._sc = self.stats.counters()
 
     def primary_index(self, address: int) -> int:
         """The block's home set (bit-selection index)."""
@@ -79,13 +96,13 @@ class ColumnAssociativeCache:
 
     def _swap(self, i: int, j: int) -> None:
         self._lines[i], self._lines[j] = self._lines[j], self._lines[i]
-        self.stats.swaps += 1
+        self._sc["swaps"].value += 1
 
     def _evict(self, index: int) -> Optional[int]:
         victim = self._lines[index]
         if victim is not None and victim in self._dirty:
             self._dirty.remove(victim)
-            self.stats.writebacks += 1
+            self._sc["writebacks"].value += 1
         self._lines[index] = None
         self._rehash_bit[index] = False
         return victim
@@ -94,17 +111,17 @@ class ColumnAssociativeCache:
         """One access; returns True on a hit (either probe)."""
         if address < 0:
             raise ValueError(f"address must be non-negative, got {address}")
-        self.stats.accesses += 1
+        self._sc["accesses"].value += 1
         primary = self.primary_index(address)
         secondary = self.secondary_index(address)
         if self._lines[primary] == address:
-            self.stats.first_probe_hits += 1
+            self._sc["first_probe_hits"].value += 1
             if is_write:
                 self._dirty.add(address)
             return True
         if self._lines[secondary] == address:
             # Secondary hit: swap so the block is primary next time.
-            self.stats.second_probe_hits += 1
+            self._sc["second_probe_hits"].value += 1
             self._swap(primary, secondary)
             # After the swap, `address` sits at `primary` (its home), and
             # the displaced block sits at `secondary`, which is *its*
@@ -119,7 +136,7 @@ class ColumnAssociativeCache:
         # holds a rehashed block (not in its own home), replace it;
         # otherwise move the primary occupant to the secondary slot and
         # claim the primary.
-        self.stats.misses += 1
+        self._sc["misses"].value += 1
         if self._lines[primary] is None or self._rehash_bit[primary]:
             self._evict(primary)
             self._lines[primary] = address

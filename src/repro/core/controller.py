@@ -13,15 +13,22 @@ Write-allocate, write-back semantics: writes to non-resident blocks
 allocate; dirty blocks report a writeback when evicted or invalidated.
 Statistics cover everything the energy model and the bandwidth analysis
 (Section VI-D) need: tag/data array reads and writes, walk lengths,
-relocations, and writebacks.
+relocations, and writebacks. Since the ZScope layer, the counters live
+in a metrics registry (:class:`CacheStats` is a
+:class:`~repro.obs.metrics.RegistryStats` facade) and, when an
+:class:`~repro.obs.ObsContext` is attached, the controller emits
+access / miss / walk / eviction trace events through its bus.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Iterator, Optional
 
 from repro.core.base import CacheArray, Candidate, Replacement
+from repro.obs import ObsContext
+from repro.obs.events import TraceBus
+from repro.obs.metrics import MetricsRegistry, RegistryStats
 from repro.replacement.base import ReplacementPolicy
 
 
@@ -40,44 +47,59 @@ class AccessResult:
     bypassed: bool = False
 
 
-@dataclass(slots=True)
-class CacheStats:
-    """Cumulative controller statistics.
+class CacheStats(RegistryStats):
+    """Cumulative controller statistics, backed by the metrics registry.
 
     Tag/data access counters follow the paper's energy accounting
     (Section III-B): a hit reads the tag array once per way and the data
     array once; a walk reads one tag per candidate; each relocation reads
     and writes both tag and data; a fill writes tag and data once.
+
+    Every field reads and writes like the plain integer attribute it
+    used to be, but is backed by a registered
+    :class:`~repro.obs.metrics.Counter` — hand the constructor a scoped
+    registry and the counters appear under that scope (``l2.bank3.hits``).
     """
 
-    accesses: int = 0
-    reads: int = 0
-    writes: int = 0
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    writebacks: int = 0
-    fills_empty: int = 0
-    invalidations: int = 0
-    relocations: int = 0
-    #: misses that could not allocate because all candidates were pinned
-    pin_overflows: int = 0
-    walk_tag_reads: int = 0
-    tag_reads: int = 0
-    tag_writes: int = 0
-    data_reads: int = 0
-    data_writes: int = 0
+    _COUNTER_FIELDS = (
+        "accesses",
+        "reads",
+        "writes",
+        "hits",
+        "misses",
+        "evictions",
+        "writebacks",
+        "fills_empty",
+        "invalidations",
+        "relocations",
+        # misses that could not allocate because all candidates were pinned
+        "pin_overflows",
+        "walk_tag_reads",
+        "tag_reads",
+        "tag_writes",
+        "data_reads",
+        "data_writes",
+    )
+
     #: eviction priorities recorded by an attached tracker (see
     #: repro.assoc.measurement); empty unless measurement is enabled
-    eviction_priorities: list[float] = field(default_factory=list)
+    eviction_priorities: list[float]
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        super().__init__(registry)
+        self.eviction_priorities = []
 
     @property
     def miss_rate(self) -> float:
-        return self.misses / self.accesses if self.accesses else 0.0
+        """Misses over accesses (0.0 before the first access)."""
+        accesses = self.counters()["accesses"].value
+        return self.counters()["misses"].value / accesses if accesses else 0.0
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.accesses if self.accesses else 0.0
+        """Hits over accesses (0.0 before the first access)."""
+        accesses = self.counters()["accesses"].value
+        return self.counters()["hits"].value / accesses if accesses else 0.0
 
 
 class Cache:
@@ -93,15 +115,46 @@ class Cache:
         eviction priorities.
     name:
         Label used in reports.
+    obs:
+        Optional :class:`~repro.obs.ObsContext`. When given, the
+        statistics counters register under its metrics scope, the array
+        is attached (walk counters, relocation events), and the
+        controller emits trace events through its bus. Without one,
+        behaviour is identical to the pre-ZScope controller: a private
+        registry and no tracing.
     """
 
     def __init__(
-        self, array: CacheArray, policy: ReplacementPolicy, name: str = "cache"
+        self,
+        array: CacheArray,
+        policy: ReplacementPolicy,
+        name: str = "cache",
+        obs: Optional[ObsContext] = None,
     ) -> None:
         self.array = array
         self.policy = policy
         self.name = name
-        self.stats = CacheStats()
+        self.obs = obs
+        self.stats = CacheStats(obs.metrics if obs is not None else None)
+        # Hot-path counter bindings: the access loop increments these
+        # directly (counter.value += 1 costs what the old dataclass
+        # attribute bump cost); the registry facade is for readers.
+        counters = self.stats.counters()
+        self._sc = counters
+        self._c_accesses = counters["accesses"]
+        self._c_reads = counters["reads"]
+        self._c_writes = counters["writes"]
+        self._c_hits = counters["hits"]
+        self._c_misses = counters["misses"]
+        self._c_tag_reads = counters["tag_reads"]
+        self._c_data_reads = counters["data_reads"]
+        self._c_data_writes = counters["data_writes"]
+        self._trace: Optional[TraceBus] = (
+            obs.trace if obs is not None and obs.trace.enabled else None
+        )
+        self._label = (obs.label or name) if obs is not None else name
+        if obs is not None:
+            array.attach_obs(obs, label=self._label)
         self._dirty: set[int] = set()
         self._pinned: set[int] = set()
 
@@ -145,41 +198,81 @@ class Cache:
     def pinned_count(self) -> int:
         return len(self._pinned)
 
+    # -- tracing helpers -----------------------------------------------------
+    def _trace_walk(self, address: int, repl: Replacement) -> None:
+        """Emit a walk event (caller guarantees tracing is enabled)."""
+        trace = self._trace
+        assert trace is not None
+        level_counts: list[int] = []
+        for cand in repl.candidates:
+            while len(level_counts) <= cand.level:
+                level_counts.append(0)
+            level_counts[cand.level] += 1
+        trace.walk(
+            self._label,
+            address,
+            repl.tag_reads,
+            len(repl.candidates),
+            repl.truncated,
+            tuple(level_counts),
+        )
+
+    def _trace_eviction(self, evicted: int, level: int, dirty: bool) -> None:
+        """Emit an eviction event with the tracker's priority, if any.
+
+        Must run *after* ``policy.on_evict`` so an attached
+        :class:`~repro.assoc.measurement.TrackedPolicy` has recorded
+        the victim's normalised eviction priority.
+        """
+        trace = self._trace
+        assert trace is not None
+        priorities = getattr(self.policy, "priorities", None)
+        priority = priorities[-1] if priorities else None
+        trace.eviction(self._label, evicted, priority, level, dirty)
+
     # -- the access protocol ---------------------------------------------------
     def access(self, address: int, is_write: bool = False) -> AccessResult:
         """Perform one read or write access to ``address``."""
         if address < 0:
             raise ValueError(f"address must be non-negative, got {address}")
-        self.stats.accesses += 1
+        self._c_accesses.value += 1
         if is_write:
-            self.stats.writes += 1
+            self._c_writes.value += 1
         else:
-            self.stats.reads += 1
+            self._c_reads.value += 1
 
         if self.array.lookup(address) is not None:
-            self.stats.hits += 1
+            self._c_hits.value += 1
             # Lookup: one tag read per way, one data read (the hit way).
-            self.stats.tag_reads += self.array.num_ways
+            self._c_tag_reads.value += self.array.num_ways
             if is_write:
-                self.stats.data_writes += 1
+                self._c_data_writes.value += 1
                 self._dirty.add(address)
             else:
-                self.stats.data_reads += 1
+                self._c_data_reads.value += 1
             self.policy.on_access(address, is_write)
+            if self._trace is not None:
+                self._trace.access(self._label, address, is_write, True)
             return AccessResult(address=address, hit=True)
 
         # Miss: the failed lookup read the tags; the walk's level-0 reads
         # are those same reads, so tag accounting comes from the walk.
-        self.stats.misses += 1
+        self._c_misses.value += 1
+        if self._trace is not None:
+            self._trace.access(self._label, address, is_write, False)
+            self._trace.miss(self._label, address, is_write)
         result = self._fill(address)
         if is_write and not result.bypassed:
             self._dirty.add(address)
         return result
 
     def _fill(self, address: int) -> AccessResult:
+        sc = self._sc
         repl = self.array.build_replacement(address)
-        self.stats.walk_tag_reads += repl.tag_reads
-        self.stats.tag_reads += repl.tag_reads
+        sc["walk_tag_reads"].value += repl.tag_reads
+        self._c_tag_reads.value += repl.tag_reads
+        if self._trace is not None:
+            self._trace_walk(address, repl)
 
         chosen = repl.first_empty()
         evicted: Optional[int] = None
@@ -189,26 +282,28 @@ class Cache:
             if chosen is None:
                 # Every candidate is pinned: the block bypasses the
                 # cache (the TM-style overflow event).
-                self.stats.pin_overflows += 1
+                sc["pin_overflows"].value += 1
                 return AccessResult(address=address, hit=False, bypassed=True)
             evicted = chosen.address
             assert evicted is not None
             self.policy.on_evict(evicted)
-            self.stats.evictions += 1
+            sc["evictions"].value += 1
             if evicted in self._dirty:
                 self._dirty.remove(evicted)
-                self.stats.writebacks += 1
+                sc["writebacks"].value += 1
                 writeback = True
+            if self._trace is not None:
+                self._trace_eviction(evicted, chosen.level, writeback)
         else:
-            self.stats.fills_empty += 1
+            sc["fills_empty"].value += 1
 
         commit = self.array.commit_replacement(repl, chosen)
-        self.stats.relocations += commit.relocations
+        sc["relocations"].value += commit.relocations
         # Each relocation reads and rewrites one block's tag and data;
         # the final install writes the incoming block's tag and data.
-        self.stats.tag_writes += commit.relocations + 1
-        self.stats.data_reads += commit.relocations
-        self.stats.data_writes += commit.relocations + 1
+        sc["tag_writes"].value += commit.relocations + 1
+        self._c_data_reads.value += commit.relocations
+        self._c_data_writes.value += commit.relocations + 1
         self.policy.on_insert(address)
         return AccessResult(
             address=address,
@@ -270,13 +365,13 @@ class Cache:
         self.array.evict_address(address)
         self.policy.on_evict(address)
         self._pinned.discard(address)
-        self.stats.invalidations += 1
+        self._sc["invalidations"].value += 1
         if address in self._dirty:
             self._dirty.remove(address)
-            self.stats.writebacks += 1
+            self._sc["writebacks"].value += 1
             return True
         return False
 
-    def resident(self):
+    def resident(self) -> Iterator[int]:
         """Iterate over resident block addresses."""
         return self.array.resident()

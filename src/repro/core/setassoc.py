@@ -9,10 +9,13 @@ relocates anything.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.base import CacheArray, Candidate, Position, Replacement
 from repro.hashing.base import HashFunction, make_hash_family
+
+if TYPE_CHECKING:
+    from repro.obs import ObsContext
 
 
 class SetAssociativeArray(CacheArray):
@@ -45,6 +48,11 @@ class SetAssociativeArray(CacheArray):
             self.index_hash = index_hash
         else:
             self.index_hash = make_hash_family(hash_kind, 1, lines_per_way, hash_seed)[0]
+
+    def attach_obs(self, obs: "ObsContext", label: Optional[str] = None) -> None:
+        """Also record the set count as an ``array.sets`` gauge."""
+        super().attach_obs(obs, label)
+        obs.metrics.scoped("array").gauge("sets").set(self.num_sets)
 
     @property
     def num_sets(self) -> int:

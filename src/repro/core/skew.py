@@ -15,7 +15,13 @@ from repro.hashing.base import HashFunction
 
 
 class SkewAssociativeArray(ZCacheArray):
-    """A zcache whose walk is limited to the first level (no relocation)."""
+    """A zcache whose walk is limited to the first level (no relocation).
+
+    Inherits ZScope observability from :class:`ZCacheArray`: attaching an
+    :class:`~repro.obs.ObsContext` registers the same ``walk.*`` metrics
+    (``commit_level`` stays entirely at level 0 here, a useful sanity
+    check that no relocation ever happens).
+    """
 
     def __init__(
         self,

@@ -28,26 +28,55 @@ from typing import Optional
 from repro.core.base import Candidate, Replacement
 from repro.core.controller import AccessResult, Cache
 from repro.core.zcache import ZCacheArray
+from repro.obs import ObsContext
 from repro.replacement.base import ReplacementPolicy
 
 
 class TwoPhaseZCache(Cache):
-    """A :class:`Cache` whose misses run the two-phase replacement."""
+    """A :class:`Cache` whose misses run the two-phase replacement.
+
+    Phase bookkeeping (``second_phase_walks`` / ``second_phase_wins`` /
+    ``stale_retries``) lives in the metrics registry alongside the
+    controller counters and is exposed through read-only properties.
+    """
 
     def __init__(
-        self, array: ZCacheArray, policy: ReplacementPolicy, name: str = "z2p"
+        self,
+        array: ZCacheArray,
+        policy: ReplacementPolicy,
+        name: str = "z2p",
+        obs: Optional[ObsContext] = None,
     ) -> None:
         if not isinstance(array, ZCacheArray):
             raise TypeError("TwoPhaseZCache requires a ZCacheArray")
-        super().__init__(array, policy, name=name)
-        self.second_phase_walks = 0
-        self.second_phase_wins = 0
-        self.stale_retries = 0
+        super().__init__(array, policy, name=name, obs=obs)
+        registry = self.stats.registry
+        self._c_sp_walks = registry.counter("second_phase_walks")
+        self._c_sp_wins = registry.counter("second_phase_wins")
+        self._c_stale_retries = registry.counter("stale_retries")
+
+    @property
+    def second_phase_walks(self) -> int:
+        """Number of phase-2 (reinsertion) walks performed."""
+        return self._c_sp_walks.value
+
+    @property
+    def second_phase_wins(self) -> int:
+        """Misses where phase 2 relocated the phase-1 victim instead."""
+        return self._c_sp_wins.value
+
+    @property
+    def stale_retries(self) -> int:
+        """Commits retried because a recorded walk path went stale."""
+        return self._c_stale_retries.value
 
     def _fill(self, address: int) -> AccessResult:
+        sc = self._sc
         repl = self.array.build_replacement(address)
-        self.stats.walk_tag_reads += repl.tag_reads
-        self.stats.tag_reads += repl.tag_reads
+        sc["walk_tag_reads"].value += repl.tag_reads
+        self._c_tag_reads.value += repl.tag_reads
+        if self._trace is not None:
+            self._trace_walk(address, repl)
 
         empty = repl.first_empty()
         if empty is not None:
@@ -55,16 +84,18 @@ class TwoPhaseZCache(Cache):
 
         node1 = self._choose_victim(repl)
         if node1 is None:
-            self.stats.pin_overflows += 1
+            sc["pin_overflows"].value += 1
             return AccessResult(address=address, hit=False, bypassed=True)
         victim1 = node1.address
         assert victim1 is not None
 
         # Phase 2: can victim1 move somewhere better than being evicted?
         repl2 = self.array.build_reinsertion(victim1)
-        self.second_phase_walks += 1
-        self.stats.walk_tag_reads += repl2.tag_reads
-        self.stats.tag_reads += repl2.tag_reads
+        self._c_sp_walks.value += 1
+        sc["walk_tag_reads"].value += repl2.tag_reads
+        self._c_tag_reads.value += repl2.tag_reads
+        if self._trace is not None:
+            self._trace_walk(victim1, repl2)
 
         phase2_choice = self._phase2_choice(repl2, victim1)
         if phase2_choice is not None:
@@ -73,21 +104,27 @@ class TwoPhaseZCache(Cache):
                 commit2 = self.array.commit_reinsertion(repl2, phase2_choice)
             except RuntimeError:
                 # Stale phase-2 path; fall back to plain eviction.
-                self.stale_retries += 1
+                self._c_stale_retries.value += 1
                 return self._plain_eviction(address, node1, victim1)
-            self.second_phase_wins += 1
-            self.stats.relocations += commit2.relocations
-            self.stats.tag_writes += commit2.relocations + 1
-            self.stats.data_reads += commit2.relocations
-            self.stats.data_writes += commit2.relocations + 1
+            self._c_sp_wins.value += 1
+            sc["relocations"].value += commit2.relocations
+            sc["tag_writes"].value += commit2.relocations + 1
+            self._c_data_reads.value += commit2.relocations
+            self._c_data_writes.value += commit2.relocations + 1
             if evicted2 is not None:
                 self.policy.on_evict(evicted2)
-                self.stats.evictions += 1
+                sc["evictions"].value += 1
+                writeback2 = False
                 if evicted2 in self._dirty:
                     self._dirty.remove(evicted2)
-                    self.stats.writebacks += 1
+                    sc["writebacks"].value += 1
+                    writeback2 = True
+                if self._trace is not None:
+                    self._trace_eviction(
+                        evicted2, phase2_choice.level, writeback2
+                    )
             else:
-                self.stats.fills_empty += 1
+                sc["fills_empty"].value += 1
             # victim1's old position is free; land the incoming block
             # through the phase-1 path (re-walk if phase 2 went stale).
             return self._commit_phase1(address, repl, node1, evicted2)
@@ -126,20 +163,23 @@ class TwoPhaseZCache(Cache):
     def _plain_eviction(
         self, address: int, node1: Candidate, victim1: int
     ) -> AccessResult:
+        sc = self._sc
         self.policy.on_evict(victim1)
-        self.stats.evictions += 1
+        sc["evictions"].value += 1
         writeback = False
         if victim1 in self._dirty:
             self._dirty.remove(victim1)
-            self.stats.writebacks += 1
+            sc["writebacks"].value += 1
             writeback = True
+        if self._trace is not None:
+            self._trace_eviction(victim1, node1.level, writeback)
         repl = Replacement(incoming=address)
         try:
             commit = self.array.commit_replacement(repl, node1)
         except RuntimeError:
             # node1's path went stale (only possible after a phase-2
             # commit attempt): re-walk and take the best fresh path.
-            self.stale_retries += 1
+            self._c_stale_retries.value += 1
             if victim1 in self.array:
                 self.array.evict_address(victim1)
             fresh = self.array.build_replacement(address)
@@ -153,23 +193,27 @@ class TwoPhaseZCache(Cache):
                 node = self._choose_victim(fresh)
                 if node is None:
                     # Everything reachable is pinned: drop the fill.
-                    self.stats.pin_overflows += 1
+                    sc["pin_overflows"].value += 1
                     return AccessResult(
                         address=address, hit=False, bypassed=True
                     )
                 extra = node.address
                 assert extra is not None
                 self.policy.on_evict(extra)
-                self.stats.evictions += 1
+                sc["evictions"].value += 1
+                extra_writeback = False
                 if extra in self._dirty:
                     self._dirty.remove(extra)
-                    self.stats.writebacks += 1
+                    sc["writebacks"].value += 1
+                    extra_writeback = True
+                if self._trace is not None:
+                    self._trace_eviction(extra, node.level, extra_writeback)
                 target = node
             commit = self.array.commit_replacement(fresh, target)
-        self.stats.relocations += commit.relocations
-        self.stats.tag_writes += commit.relocations + 1
-        self.stats.data_reads += commit.relocations
-        self.stats.data_writes += commit.relocations + 1
+        sc["relocations"].value += commit.relocations
+        sc["tag_writes"].value += commit.relocations + 1
+        self._c_data_reads.value += commit.relocations
+        self._c_data_writes.value += commit.relocations + 1
         self.policy.on_insert(address)
         return AccessResult(
             address=address,
@@ -183,6 +227,7 @@ class TwoPhaseZCache(Cache):
         self, address: int, repl: Replacement, node1: Candidate, evicted2
     ) -> AccessResult:
         """Install the incoming block through the (now-empty) node1."""
+        sc = self._sc
         freed = Candidate(
             position=node1.position, address=None, level=node1.level,
             parent=node1.parent,
@@ -191,30 +236,34 @@ class TwoPhaseZCache(Cache):
             commit = self.array.commit_replacement(repl, freed)
         except RuntimeError:
             # A phase-2 relocation rewrote a phase-1 ancestor: re-walk.
-            self.stale_retries += 1
+            self._c_stale_retries.value += 1
             fresh = self.array.build_replacement(address)
             target = fresh.first_empty()
             if target is None:
                 node = self._choose_victim(fresh)
                 if node is None:
                     # Everything reachable is pinned: drop the fill.
-                    self.stats.pin_overflows += 1
+                    sc["pin_overflows"].value += 1
                     return AccessResult(
                         address=address, hit=False, bypassed=True
                     )
                 extra = node.address
                 assert extra is not None
                 self.policy.on_evict(extra)
-                self.stats.evictions += 1
+                sc["evictions"].value += 1
+                extra_writeback = False
                 if extra in self._dirty:
                     self._dirty.remove(extra)
-                    self.stats.writebacks += 1
+                    sc["writebacks"].value += 1
+                    extra_writeback = True
+                if self._trace is not None:
+                    self._trace_eviction(extra, node.level, extra_writeback)
                 target = node
             commit = self.array.commit_replacement(fresh, target)
-        self.stats.relocations += commit.relocations
-        self.stats.tag_writes += commit.relocations + 1
-        self.stats.data_reads += commit.relocations
-        self.stats.data_writes += commit.relocations + 1
+        sc["relocations"].value += commit.relocations
+        sc["tag_writes"].value += commit.relocations + 1
+        self._c_data_reads.value += commit.relocations
+        self._c_data_writes.value += commit.relocations + 1
         self.policy.on_insert(address)
         return AccessResult(
             address=address,
@@ -226,12 +275,13 @@ class TwoPhaseZCache(Cache):
     def _finish_fill(
         self, address: int, repl: Replacement, chosen: Candidate, evicted
     ) -> AccessResult:
-        self.stats.fills_empty += 1
+        sc = self._sc
+        sc["fills_empty"].value += 1
         commit = self.array.commit_replacement(repl, chosen)
-        self.stats.relocations += commit.relocations
-        self.stats.tag_writes += commit.relocations + 1
-        self.stats.data_reads += commit.relocations
-        self.stats.data_writes += commit.relocations + 1
+        sc["relocations"].value += commit.relocations
+        sc["tag_writes"].value += commit.relocations + 1
+        self._c_data_reads.value += commit.relocations
+        self._c_data_writes.value += commit.relocations + 1
         self.policy.on_insert(address)
         return AccessResult(
             address=address,

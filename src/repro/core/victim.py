@@ -16,43 +16,47 @@ offers an ``access``/``stats`` surface compatible with
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.controller import AccessResult, Cache
 from repro.core.fullyassoc import FullyAssociativeArray
 from repro.core.setassoc import SetAssociativeArray
+from repro.obs import ObsContext
+from repro.obs.metrics import RegistryStats
 from repro.replacement import LRU
 
 
-@dataclass(slots=True)
-class MergedStats:
+class MergedStats(RegistryStats):
     """Hit/miss view over the composite (buffer hits count as hits)."""
 
-    accesses: int = 0
-    hits: int = 0
-    misses: int = 0
-    writebacks: int = 0
+    _COUNTER_FIELDS = ("accesses", "hits", "misses", "writebacks")
 
     @property
     def miss_rate(self) -> float:
-        return self.misses / self.accesses if self.accesses else 0.0
+        """Misses over accesses (0.0 before the first access)."""
+        c = self.counters()
+        accesses = c["accesses"].value
+        return c["misses"].value / accesses if accesses else 0.0
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.accesses if self.accesses else 0.0
+        """Hits over accesses (0.0 before the first access)."""
+        c = self.counters()
+        accesses = c["accesses"].value
+        return c["hits"].value / accesses if accesses else 0.0
 
 
-@dataclass(slots=True)
-class VictimCacheStats:
+class VictimCacheStats(RegistryStats):
     """Counters specific to the composite design."""
 
-    victim_probes: int = 0
-    victim_hits: int = 0
-    swaps: int = 0
+    _COUNTER_FIELDS = ("victim_probes", "victim_hits", "swaps")
 
     @property
     def victim_hit_rate(self) -> float:
-        return self.victim_hits / self.victim_probes if self.victim_probes else 0.0
+        """Buffer hits over buffer probes (0.0 before the first probe)."""
+        c = self.counters()
+        probes = c["victim_probes"].value
+        return c["victim_hits"].value / probes if probes else 0.0
 
 
 class VictimCache:
@@ -78,6 +82,7 @@ class VictimCache:
         hash_kind: str = "bitsel",
         hash_seed: int = 0,
         policy_factory=LRU,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         if victim_entries < 1:
             raise ValueError(f"victim_entries must be >= 1, got {victim_entries}")
@@ -87,12 +92,20 @@ class VictimCache:
             ),
             policy_factory(),
             name="main",
+            obs=obs.scoped("main") if obs is not None else None,
         )
         self.buffer = Cache(
-            FullyAssociativeArray(victim_entries), LRU(), name="victim"
+            FullyAssociativeArray(victim_entries),
+            LRU(),
+            name="victim",
+            obs=obs.scoped("victim") if obs is not None else None,
         )
-        self.stats = MergedStats()
-        self.victim_stats = VictimCacheStats()
+        metrics = obs.metrics if obs is not None else None
+        self.stats = MergedStats(metrics)
+        self.victim_stats = VictimCacheStats(metrics)
+        self._sc = self.stats.counters()
+        self._vc = self.victim_stats.counters()
+        self._main_writebacks = self.main.stats.counters()["writebacks"]
 
     @property
     def num_blocks(self) -> int:
@@ -106,26 +119,28 @@ class VictimCache:
 
     def access(self, address: int, is_write: bool = False) -> AccessResult:
         """One access: main array first, then the victim buffer."""
-        self.stats.accesses += 1
+        sc = self._sc
+        vc = self._vc
+        sc["accesses"].value += 1
         if self.main.array.lookup(address) is not None:
             self.main.access(address, is_write)
-            self.stats.hits += 1
+            sc["hits"].value += 1
             return AccessResult(address=address, hit=True)
 
         # Main miss: probe the buffer (extra latency/energy in hardware).
-        self.victim_stats.victim_probes += 1
+        vc["victim_probes"].value += 1
         swapped_dirty = False
         buffer_hit = self.buffer.array.lookup(address) is not None
         if buffer_hit:
-            self.victim_stats.victim_hits += 1
-            self.victim_stats.swaps += 1
-            self.stats.hits += 1
+            vc["victim_hits"].value += 1
+            vc["swaps"].value += 1
+            sc["hits"].value += 1
             swapped_dirty = self.buffer.is_dirty(address)
             self.buffer.array.evict_address(address)
             self.buffer.policy.on_evict(address)
             self.buffer._dirty.discard(address)
         else:
-            self.stats.misses += 1
+            sc["misses"].value += 1
 
         result = self.main.access(address, is_write)
         if swapped_dirty:
@@ -139,7 +154,7 @@ class VictimCache:
             # The main controller logged a writeback to memory; the data
             # actually moved sideways into the buffer, so re-attribute.
             if result.writeback:
-                self.main.stats.writebacks -= 1
+                self._main_writebacks.value -= 1
             if buf_result.evicted is not None and buf_result.writeback:
-                self.stats.writebacks += 1
+                sc["writebacks"].value += 1
         return AccessResult(address=address, hit=buffer_hit, evicted=result.evicted)

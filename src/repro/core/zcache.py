@@ -28,8 +28,7 @@ Extensions implemented (Section III-D):
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.base import (
     CacheArray,
@@ -39,7 +38,11 @@ from repro.core.base import (
     Replacement,
 )
 from repro.hashing.base import HashFunction, make_hash_family
+from repro.obs.metrics import IntHistogram, MetricsRegistry, RegistryStats
 from repro.util.bloom import BloomFilter
+
+if TYPE_CHECKING:
+    from repro.obs import ObsContext
 
 
 def replacement_candidates(num_ways: int, levels: int) -> int:
@@ -84,32 +87,64 @@ def levels_for_candidates(num_ways: int, target: int) -> int:
     return levels
 
 
-@dataclass(slots=True)
-class WalkStats:
-    """Cumulative replacement-walk statistics."""
+class WalkStats(RegistryStats):
+    """Cumulative replacement-walk statistics.
 
-    walks: int = 0
-    tag_reads: int = 0
-    candidates: int = 0
-    repeats: int = 0
-    truncated_walks: int = 0
-    relocations: int = 0
-    #: histogram of chosen-candidate levels (index = level)
-    level_hist: list[int] = field(default_factory=list)
+    Registry-backed since ZScope: every counter is a registered
+    :class:`~repro.obs.metrics.Counter` and the commit-level histogram
+    a registered :class:`~repro.obs.metrics.IntHistogram`, so walk
+    behaviour shows up in metric snapshots as ``<scope>.walks``,
+    ``<scope>.commit_level`` and friends. Attribute reads and writes
+    work exactly as they did when this was a slotted dataclass.
+    """
+
+    _COUNTER_FIELDS = (
+        "walks",
+        "tag_reads",
+        "candidates",
+        "repeats",
+        "truncated_walks",
+        "relocations",
+    )
+
+    _levels: IntHistogram
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        super().__init__(registry)
+        object.__setattr__(
+            self, "_levels", self.registry.int_histogram("commit_level")
+        )
+
+    @property
+    def level_hist(self) -> list[int]:
+        """Histogram of chosen-candidate levels (index = level).
+
+        A live view of the registered histogram's dense counts.
+        """
+        return self._levels.counts
 
     def record_commit_level(self, level: int) -> None:
         """Count one committed replacement at walk depth ``level``."""
-        while len(self.level_hist) <= level:
-            self.level_hist.append(0)
-        self.level_hist[level] += 1
+        self._levels.observe(level)
+
+    def merge(self, other: "WalkStats") -> None:
+        """Accumulate another instance's counts into this one."""
+        self.merge_counters(other)
+        self._levels.add_counts(other.level_hist)
 
     @property
     def mean_candidates_per_walk(self) -> float:
-        return self.candidates / self.walks if self.walks else 0.0
+        """Average candidates collected per walk (0.0 before any walk)."""
+        c = self.counters()
+        walks = c["walks"].value
+        return c["candidates"].value / walks if walks else 0.0
 
     @property
     def mean_relocations_per_walk(self) -> float:
-        return self.relocations / self.walks if self.walks else 0.0
+        """Average relocations committed per walk (0.0 before any walk)."""
+        c = self.counters()
+        walks = c["walks"].value
+        return c["relocations"].value / walks if walks else 0.0
 
 
 class ZCacheArray(CacheArray):
@@ -178,6 +213,34 @@ class ZCacheArray(CacheArray):
             self.hashes = make_hash_family(hash_kind, num_ways, lines_per_way, hash_seed)
         self._rng = random.Random(seed)
         self.stats = WalkStats()
+        self._bind_stat_refs()
+
+    def _bind_stat_refs(self) -> None:
+        """Cache counter objects for the walk's hot increments.
+
+        ``counter.value += 1`` on a cached ref costs the same as the old
+        plain-attribute increment; going through the stats facade each
+        time would not.
+        """
+        c = self.stats.counters()
+        self._c_walks = c["walks"]
+        self._c_tag_reads = c["tag_reads"]
+        self._c_candidates = c["candidates"]
+        self._c_repeats = c["repeats"]
+        self._c_truncated_walks = c["truncated_walks"]
+        self._c_relocations = c["relocations"]
+
+    def attach_obs(self, obs: "ObsContext", label: Optional[str] = None) -> None:
+        """Re-home walk statistics under ``<scope>.walk`` in the registry.
+
+        Replaces the private :class:`WalkStats` built at construction
+        with one registered in the context (resetting the counters, so
+        attach before use) and records the walk depth as a gauge.
+        """
+        super().attach_obs(obs, label)
+        self.stats = WalkStats(obs.metrics.scoped("walk"))
+        self._bind_stat_refs()
+        obs.metrics.scoped("array").gauge("levels").set(self.levels)
 
     # -- helpers -------------------------------------------------------------
     def _home_positions(self, address: int) -> list[Position]:
@@ -234,12 +297,12 @@ class ZCacheArray(CacheArray):
             repl.tag_reads += 1
             repeat = cand.position in seen_positions
             if repeat:
-                self.stats.repeats += 1
+                self._c_repeats.value += 1
             seen_positions.add(cand.position)
             if tracker is not None and cand.address is not None:
                 if cand.address in tracker:
                     repeat = True
-                    self.stats.repeats += 1
+                    self._c_repeats.value += 1
                 else:
                     tracker.add(cand.address)
             return repeat
@@ -257,11 +320,11 @@ class ZCacheArray(CacheArray):
         else:
             self._walk_dfs(repl, frontier, note)
 
-        self.stats.walks += 1
-        self.stats.tag_reads += repl.tag_reads
-        self.stats.candidates += len(repl.candidates)
+        self._c_walks.value += 1
+        self._c_tag_reads.value += repl.tag_reads
+        self._c_candidates.value += len(repl.candidates)
         if repl.truncated:
-            self.stats.truncated_walks += 1
+            self._c_truncated_walks.value += 1
         return repl
 
     def build_reinsertion(self, address: int) -> Replacement:
@@ -287,12 +350,12 @@ class ZCacheArray(CacheArray):
             repl.tag_reads += 1
             repeat = cand.position in seen_positions
             if repeat:
-                self.stats.repeats += 1
+                self._c_repeats.value += 1
             seen_positions.add(cand.position)
             if tracker is not None and cand.address is not None:
                 if cand.address in tracker:
                     repeat = True
-                    self.stats.repeats += 1
+                    self._c_repeats.value += 1
                 else:
                     tracker.add(cand.address)
             return repeat
@@ -307,9 +370,9 @@ class ZCacheArray(CacheArray):
             if cand.address is not None and not (repeat and tracker is not None):
                 frontier.append(cand)
         self._walk_bfs(repl, frontier, note)
-        self.stats.walks += 1
-        self.stats.tag_reads += repl.tag_reads
-        self.stats.candidates += len(repl.candidates)
+        self._c_walks.value += 1
+        self._c_tag_reads.value += repl.tag_reads
+        self._c_candidates.value += len(repl.candidates)
         return repl
 
     def commit_reinsertion(
@@ -400,7 +463,7 @@ class ZCacheArray(CacheArray):
         self, repl: Replacement, chosen: Candidate
     ) -> "CommitResult":
         result = super().commit_replacement(repl, chosen)
-        self.stats.relocations += result.relocations
+        self._c_relocations.value += result.relocations
         self.stats.record_commit_level(chosen.level)
         return result
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.assoc import TrackedPolicy, uniformity_cdf
 from repro.core import Cache, RandomCandidatesArray
+from repro.obs import ObsContext
 from repro.replacement import LRU
 
 CANDIDATE_COUNTS = (4, 8, 16, 64)
@@ -56,17 +57,23 @@ def run(
     footprint_mult: int = 8,
     seed: int = 0,
     wrap_array: Optional[Callable] = None,
+    obs: Optional[ObsContext] = None,
 ) -> Fig2Result:
     """Generate Fig. 2's curves and validate them by simulation.
 
     ``wrap_array`` optionally wraps each simulated array before it is
     handed to the controller — the hook ``zcache-repro check
     --sanitize`` uses to run this experiment under the runtime
-    invariant sanitizer without perturbing it.
+    invariant sanitizer without perturbing it. ``obs`` threads an
+    observability context through: each n's cache registers metrics
+    under an ``n<N>`` scope and emits trace events through the shared
+    bus (labelled ``n4``, ``n8``, ...), which is how the eviction
+    CDFs become reconstructible from a JSONL trace.
     """
     xs = np.linspace(0.0, 1.0, 101)
     analytic = {}
     simulated = {}
+    profiler = obs.profiler if obs is not None else None
     for n in CANDIDATE_COUNTS:
         cdf = uniformity_cdf(n)
         analytic[n] = np.array([cdf(x) for x in xs])
@@ -74,11 +81,21 @@ def run(
         array = RandomCandidatesArray(cache_blocks, n, seed=seed + n)
         if wrap_array is not None:
             array = wrap_array(array)
-        cache = Cache(array, tracked)
+        cache = Cache(
+            array,
+            tracked,
+            name=f"n{n}",
+            obs=obs.scoped(f"n{n}") if obs is not None else None,
+        )
         rng = random.Random(seed + n)
         footprint = cache_blocks * footprint_mult
-        for _ in range(accesses):
-            cache.access(rng.randrange(footprint))
+        if profiler is not None:
+            with profiler.phase(f"fig2.n{n}"):
+                for _ in range(accesses):
+                    cache.access(rng.randrange(footprint))
+        else:
+            for _ in range(accesses):
+                cache.access(rng.randrange(footprint))
         dist = tracked.distribution()
         simulated[n] = (dist.cdf(xs), dist.ks_to_uniformity(n))
     return Fig2Result(xs=xs, analytic=analytic, simulated=simulated)

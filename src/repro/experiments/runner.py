@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
+from repro.obs import NULL_PHASE_TIMER, Heartbeat, ObsContext, sanitize_component
 from repro.sim import CMPConfig, L2DesignConfig, TraceDrivenRunner
 from repro.workloads import WORKLOADS, get_workload
 
@@ -66,28 +67,51 @@ def run_design_sweep(
     scale: ExperimentScale = ExperimentScale(),
     cfg: Optional[CMPConfig] = None,
     policy_wrapper=None,
+    obs: Optional[ObsContext] = None,
 ) -> SweepResult:
     """Capture a workload's L2 stream once, replay it per design/policy.
 
     OPT policies are supported (the captured stream provides the future
     trace). Returns a :class:`SweepResult` keyed by (design label,
     policy name).
+
+    When an :class:`~repro.obs.ObsContext` is given, the capture and
+    each replay run under its phase timer (``capture``,
+    ``replay.<design>.<policy>``), each replay's metrics register under
+    a per-design scope, and the context's heartbeat records progress.
+    Without one, a heartbeat is still honoured if the
+    ``ZCACHE_PROGRESS_LOG`` environment variable names a log file.
     """
     cfg = cfg or CMPConfig()
     workload = get_workload(workload_name)
+    profiler = obs.profiler if obs is not None else NULL_PHASE_TIMER
+    heartbeat = obs.heartbeat if obs is not None else Heartbeat.from_env()
     runner = TraceDrivenRunner(
         cfg,
         workload,
         instructions_per_core=scale.instructions_per_core,
         seed=scale.seed,
     )
-    runner.capture()
+    with profiler.phase("capture"):
+        runner.capture()
+    heartbeat.beat(f"{workload_name}: captured L2 stream")
     sweep = SweepResult(workload=workload_name)
-    for design in designs:
-        for policy in policies:
-            design_cfg = cfg.with_design(replace(design, policy=policy))
-            result = runner.replay(design_cfg, policy_wrapper=policy_wrapper)
-            sweep.results[(design.label(), policy)] = result
+    jobs = [(d, p) for d in designs for p in policies]
+    for done, (design, policy) in enumerate(jobs, start=1):
+        design_cfg = cfg.with_design(replace(design, policy=policy))
+        scope = f"{sanitize_component(design.label())}.{policy}"
+        with profiler.phase(f"replay.{scope}"):
+            result = runner.replay(
+                design_cfg,
+                policy_wrapper=policy_wrapper,
+                obs=obs.scoped(scope) if obs is not None else None,
+            )
+        sweep.results[(design.label(), policy)] = result
+        heartbeat.beat(
+            f"{workload_name}: replayed {design.label()}/{policy}",
+            done=done,
+            total=len(jobs),
+        )
     return sweep
 
 

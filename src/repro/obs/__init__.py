@@ -1,0 +1,151 @@
+"""ZScope: the observability layer (metrics, tracing, profiling).
+
+The simulator's results are *distributions* — eviction-priority CDFs,
+walk depths, bank tag-load — but before this layer the repo only
+surfaced end-of-run aggregates. ZScope adds three always-available,
+low-overhead facilities:
+
+- **Metrics** (:mod:`repro.obs.metrics`): a dependency-free registry of
+  counters/gauges/histograms with hierarchical names
+  (``l2.bank3.walk.tag_reads``). Core arrays, the controller, the
+  banked L2 and the CMP simulator register into it instead of keeping
+  ad-hoc attribute counters.
+- **Event tracing** (:mod:`repro.obs.events`): typed access / miss /
+  walk / relocation / eviction records to pluggable sinks (null, ring
+  buffer, JSONL file), so figures like the Fig. 2 CDF can be rebuilt
+  offline from a trace.
+- **Profiling** (:mod:`repro.obs.profiling`): phase timers with
+  wall-time attribution and a single-file heartbeat for long sweeps.
+
+:class:`ObsContext` bundles the three and is what components accept:
+everything takes an optional ``obs`` argument and, when given one,
+registers its metrics under the context's scope and emits trace events
+through its bus. With no context (the default) components fall back to
+private registries and a disabled bus — behaviour and performance are
+unchanged, which is what keeps observability safe to wire in
+everywhere. CLI surfaces: ``zcache-repro stats`` and ``zcache-repro
+trace`` (see :mod:`repro.obs.cli`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.events import (
+    AccessEvent,
+    EvictionEvent,
+    JsonlSink,
+    MissEvent,
+    NullSink,
+    RelocationEvent,
+    RingBufferSink,
+    TraceBus,
+    TraceEvent,
+    TraceSink,
+    WalkEvent,
+    collect_eviction_priorities,
+    count_by_kind,
+    event_from_dict,
+    event_to_dict,
+    read_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    IntHistogram,
+    MetricsRegistry,
+    RegistryStats,
+    ReservoirHistogram,
+    sanitize_component,
+)
+from repro.obs.profiling import (
+    NULL_HEARTBEAT,
+    NULL_PHASE_TIMER,
+    PROGRESS_LOG_ENV,
+    Heartbeat,
+    PhaseTimer,
+)
+
+__all__ = [
+    "ObsContext",
+    "MetricsRegistry",
+    "RegistryStats",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "IntHistogram",
+    "ReservoirHistogram",
+    "sanitize_component",
+    "TraceBus",
+    "TraceSink",
+    "TraceEvent",
+    "NullSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "AccessEvent",
+    "MissEvent",
+    "WalkEvent",
+    "RelocationEvent",
+    "EvictionEvent",
+    "read_jsonl",
+    "event_to_dict",
+    "event_from_dict",
+    "collect_eviction_priorities",
+    "count_by_kind",
+    "PhaseTimer",
+    "Heartbeat",
+    "NULL_PHASE_TIMER",
+    "NULL_HEARTBEAT",
+    "PROGRESS_LOG_ENV",
+]
+
+
+class ObsContext:
+    """The bundle instrumented components accept: metrics + trace + profiling.
+
+    A context carries a :class:`MetricsRegistry` view, a
+    :class:`TraceBus`, a :class:`PhaseTimer` and a :class:`Heartbeat`.
+    :meth:`scoped` derives a child context whose registry is prefixed
+    (``obs.scoped("l2").scoped("bank3")``) while the trace bus, timer
+    and heartbeat stay shared — scoping is a naming concern, event
+    ordering is global.
+    """
+
+    __slots__ = ("metrics", "trace", "profiler", "heartbeat")
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceBus] = None,
+        profiler: Optional[PhaseTimer] = None,
+        heartbeat: Optional[Heartbeat] = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace = trace if trace is not None else TraceBus()
+        self.profiler = profiler if profiler is not None else PhaseTimer()
+        self.heartbeat = heartbeat if heartbeat is not None else NULL_HEARTBEAT
+
+    @property
+    def label(self) -> str:
+        """The metrics scope prefix — used to label trace events."""
+        return self.metrics.prefix
+
+    def scoped(self, prefix: str) -> "ObsContext":
+        """A child context under ``prefix`` (shared bus/timer/heartbeat)."""
+        return ObsContext(
+            metrics=self.metrics.scoped(prefix),
+            trace=self.trace,
+            profiler=self.profiler,
+            heartbeat=self.heartbeat,
+        )
+
+    def close(self) -> None:
+        """Close the trace sink (flushes JSONL files)."""
+        self.trace.close()
+
+    def __enter__(self) -> "ObsContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

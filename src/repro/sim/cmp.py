@@ -22,6 +22,7 @@ from typing import Iterator, Optional
 
 from repro.core import Cache, SetAssociativeArray
 from repro.energy.cachecost import CacheCostModel
+from repro.obs import ObsContext
 from repro.replacement import LRU
 from repro.sim.config import CMPConfig
 from repro.sim.directory import Directory
@@ -156,11 +157,12 @@ class _BankPorts:
         self._free[bank] = start + duration
 
 
-def _build_l1(cfg: CMPConfig) -> Cache:
+def _build_l1(cfg: CMPConfig, obs: Optional[ObsContext] = None) -> Cache:
     return Cache(
         SetAssociativeArray(cfg.l1_ways, cfg.l1_blocks // cfg.l1_ways),
         LRU(),
         name="L1",
+        obs=obs,
     )
 
 
@@ -191,6 +193,7 @@ class CMPSimulator:
         instructions_per_core: int = 100_000,
         seed: int = 0,
         policy_wrapper=None,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         if cfg.l2_design.policy == "opt":
             raise ValueError(
@@ -201,13 +204,28 @@ class CMPSimulator:
         self.instructions_per_core = instructions_per_core
         self.seed = seed
         self.policy_wrapper = policy_wrapper
+        self.obs = obs
 
     def run(self) -> CMPResult:
         """Simulate until every core retires its instruction budget."""
         cfg = self.cfg
-        l1s = [_build_l1(cfg) for _ in range(cfg.num_cores)]
-        l2 = BankedL2(cfg, policy_wrapper=self.policy_wrapper)
-        directory = Directory(cfg.num_cores)
+        obs = self.obs
+        l1s = [
+            _build_l1(
+                cfg,
+                obs.scoped(f"core{c}.l1") if obs is not None else None,
+            )
+            for c in range(cfg.num_cores)
+        ]
+        l2 = BankedL2(
+            cfg,
+            policy_wrapper=self.policy_wrapper,
+            obs=obs.scoped("l2") if obs is not None else None,
+        )
+        directory = Directory(
+            cfg.num_cores,
+            obs=obs.scoped("directory") if obs is not None else None,
+        )
         channel = _MemoryChannel(cfg)
         ports = _BankPorts(cfg)
         bank_latency = _bank_latency(cfg)
@@ -425,14 +443,24 @@ class TraceDrivenRunner:
         )
         return self._captured
 
-    def replay(self, design_cfg: CMPConfig, policy_wrapper=None) -> CMPResult:
+    def replay(
+        self,
+        design_cfg: CMPConfig,
+        policy_wrapper=None,
+        obs: Optional[ObsContext] = None,
+    ) -> CMPResult:
         """Phase 2: run the captured stream through one L2 design."""
         captured = self.capture()
         cfg = design_cfg
         opt_traces = None
         if cfg.l2_design.policy == "opt":
             opt_traces = captured.bank_demand_traces(cfg.l2_banks)
-        l2 = BankedL2(cfg, opt_traces=opt_traces, policy_wrapper=policy_wrapper)
+        l2 = BankedL2(
+            cfg,
+            opt_traces=opt_traces,
+            policy_wrapper=policy_wrapper,
+            obs=obs.scoped("l2") if obs is not None else None,
+        )
         channel = _MemoryChannel(cfg)
         ports = _BankPorts(cfg)
         bank_latency = _bank_latency(cfg)
@@ -448,7 +476,7 @@ class TraceDrivenRunner:
             if kind == UPGRADE:
                 cycles[core] += cfg.l1_to_bank_latency(core, bank) + bank_latency
                 cycles[core] += ports.demand(bank, cycles[core])
-                l2.bank_accesses[bank] += 1
+                l2.record_bank_access(bank)
                 continue
             cycles[core] += cfg.l1_to_bank_latency(core, bank) + bank_latency
             cycles[core] += ports.demand(bank, cycles[core])

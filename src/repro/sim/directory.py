@@ -20,25 +20,32 @@ the L2 (documented substitution).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.metrics import RegistryStats
+
+if TYPE_CHECKING:
+    from repro.obs import ObsContext
 
 
-@dataclass
-class DirectoryStats:
-    invalidations_sent: int = 0
-    upgrades: int = 0
-    write_fills: int = 0
+class DirectoryStats(RegistryStats):
+    """Coherence-traffic counters, backed by the metrics registry."""
+
+    _COUNTER_FIELDS = ("invalidations_sent", "upgrades", "write_fills")
 
 
 class Directory:
     """Sharer tracking for an inclusive L2."""
 
-    def __init__(self, num_cores: int) -> None:
+    def __init__(
+        self, num_cores: int, obs: Optional["ObsContext"] = None
+    ) -> None:
         if num_cores < 1:
             raise ValueError("num_cores must be >= 1")
         self.num_cores = num_cores
         self._sharers: dict[int, set[int]] = {}
-        self.stats = DirectoryStats()
+        self.stats = DirectoryStats(obs.metrics if obs is not None else None)
+        self._sc = self.stats.counters()
 
     def sharers(self, address: int) -> frozenset[int]:
         """Cores that may hold the block in their L1."""
@@ -56,8 +63,8 @@ class Directory:
         if is_write:
             victims = [c for c in holders if c != core]
             holders.clear()
-            self.stats.write_fills += 1
-            self.stats.invalidations_sent += len(victims)
+            self._sc["write_fills"].value += 1
+            self._sc["invalidations_sent"].value += len(victims)
         holders.add(core)
         return victims
 
@@ -71,8 +78,8 @@ class Directory:
             )
         victims = [c for c in holders if c != core]
         if victims:
-            self.stats.upgrades += 1
-            self.stats.invalidations_sent += len(victims)
+            self._sc["upgrades"].value += 1
+            self._sc["invalidations_sent"].value += len(victims)
         self._sharers[address] = {core}
         return victims
 
@@ -88,7 +95,7 @@ class Directory:
     def inclusion_invalidate(self, address: int) -> list[int]:
         """L2 eviction: every L1 copy must be invalidated (inclusion)."""
         holders = self._sharers.pop(address, set())
-        self.stats.invalidations_sent += len(holders)
+        self._sc["invalidations_sent"].value += len(holders)
         return sorted(holders)
 
     def _check_core(self, core: int) -> None:

@@ -4,6 +4,11 @@ Each bank is an independent :class:`~repro.core.controller.Cache` built
 from the configured design; blocks interleave across banks by address.
 The L2 records per-bank access counts for the bandwidth analysis of
 Section VI-D.
+
+Since ZScope, every per-bank counter lives in the metrics registry
+(``l2.bank3.hits``, ``l2.bank3.walk.tag_reads``, ``l2.bank3.port_accesses``)
+and the old attribute surfaces — ``bank_accesses``, ``writeback_hits``,
+``writeback_misses`` — are thin read-only views over it.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from repro.core import (
     ZCacheArray,
 )
 from repro.core.zcache import WalkStats
+from repro.obs import MetricsRegistry, ObsContext
 from repro.replacement import BucketedLRU, LFU, LRU, FIFO, NRU, RandomPolicy, SRRIP
 from repro.sim.config import CMPConfig
 
@@ -95,6 +101,11 @@ class BankedL2:
     policy_wrapper:
         Optional callable applied to each bank's policy (e.g.
         :class:`~repro.assoc.measurement.TrackedPolicy`).
+    obs:
+        Optional :class:`~repro.obs.ObsContext`. Each bank registers its
+        controller and walk counters under ``<scope>.bank<b>`` and traces
+        through the shared bus; without one the L2 keeps a private
+        registry (identical behaviour, nothing exported).
     """
 
     def __init__(
@@ -102,19 +113,54 @@ class BankedL2:
         cfg: CMPConfig,
         opt_traces=None,
         policy_wrapper: Optional[Callable] = None,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         self.cfg = cfg
+        self.metrics = obs.metrics if obs is not None else MetricsRegistry()
         self.banks: list[Cache] = []
         for b in range(cfg.l2_banks):
             policy = _build_policy(cfg, b, opt_traces)
             if policy_wrapper is not None:
                 policy = policy_wrapper(policy)
             self.banks.append(
-                Cache(_build_bank_array(cfg, b), policy, name=f"L2b{b}")
+                Cache(
+                    _build_bank_array(cfg, b),
+                    policy,
+                    name=f"L2b{b}",
+                    obs=obs.scoped(f"bank{b}") if obs is not None else None,
+                )
             )
-        self.bank_accesses = [0] * cfg.l2_banks
-        self.writeback_hits = 0
-        self.writeback_misses = 0
+        # Port-level counters (demand + writeback traffic per bank); the
+        # name avoids colliding with each bank controller's `accesses`.
+        self._bank_access = [
+            self.metrics.counter(f"bank{b}.port_accesses")
+            for b in range(cfg.l2_banks)
+        ]
+        self._c_writeback_hits = self.metrics.counter("writeback_hits")
+        self._c_writeback_misses = self.metrics.counter("writeback_misses")
+        # attr -> the banks' Counter objects, lazily built: the timing
+        # model polls aggregates like `walk_tag_reads` per access, so
+        # `total()` must not re-resolve counters every call.
+        self._total_cache: dict[str, list] = {}
+
+    @property
+    def bank_accesses(self) -> list[int]:
+        """Per-bank port access counts (a snapshot, not a live list)."""
+        return [c.value for c in self._bank_access]
+
+    @property
+    def writeback_hits(self) -> int:
+        """L1 writebacks the L2 absorbed."""
+        return self._c_writeback_hits.value
+
+    @property
+    def writeback_misses(self) -> int:
+        """L1 writebacks that missed the L2 and went to memory."""
+        return self._c_writeback_misses.value
+
+    def record_bank_access(self, bank: int) -> None:
+        """Count one port access to ``bank`` (demand or writeback)."""
+        self._bank_access[bank].value += 1
 
     def bank_for(self, address: int) -> int:
         """Address-interleaved bank selection."""
@@ -123,7 +169,7 @@ class BankedL2:
     def access(self, address: int, is_write: bool) -> L2AccessOutcome:
         """One demand access (an L1 miss reaching the L2)."""
         bank = self.bank_for(address)
-        self.bank_accesses[bank] += 1
+        self._bank_access[bank].value += 1
         result = self.banks[bank].access(address, is_write)
         return L2AccessOutcome(
             hit=result.hit,
@@ -142,14 +188,14 @@ class BankedL2:
         memory.
         """
         bank = self.bank_for(address)
-        self.bank_accesses[bank] += 1
+        self._bank_access[bank].value += 1
         cache = self.banks[bank]
         if address in cache:
-            cache.stats.data_writes += 1
+            cache.stats.counters()["data_writes"].value += 1
             cache._dirty.add(address)
-            self.writeback_hits += 1
+            self._c_writeback_hits.value += 1
             return True
-        self.writeback_misses += 1
+        self._c_writeback_misses.value += 1
         return False
 
     def invalidate(self, address: int) -> bool:
@@ -162,7 +208,11 @@ class BankedL2:
     # -- aggregate statistics ---------------------------------------------------
     def total(self, attr: str) -> int:
         """Sum a CacheStats counter across banks."""
-        return sum(getattr(b.stats, attr) for b in self.banks)
+        counters = self._total_cache.get(attr)
+        if counters is None:
+            counters = [b.stats.counters()[attr] for b in self.banks]
+            self._total_cache[attr] = counters
+        return sum(c.value for c in counters)
 
     @property
     def hits(self) -> int:
@@ -197,14 +247,5 @@ class BankedL2:
                 return None
             if merged is None:
                 merged = WalkStats()
-            merged.walks += stats.walks
-            merged.tag_reads += stats.tag_reads
-            merged.candidates += stats.candidates
-            merged.repeats += stats.repeats
-            merged.truncated_walks += stats.truncated_walks
-            merged.relocations += stats.relocations
-            for level, count in enumerate(stats.level_hist):
-                while len(merged.level_hist) <= level:
-                    merged.level_hist.append(0)
-                merged.level_hist[level] += count
+            merged.merge(stats)
         return merged

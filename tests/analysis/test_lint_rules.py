@@ -23,6 +23,7 @@ FIXTURE_CODES = {
     "zs003_policy_contract.py": "ZS003",
     "core/zs004_dataclass_slots.py": "ZS004",
     "zs005_wall_clock.py": "ZS005",
+    "core/zs006_counter_bypass.py": "ZS006",
 }
 
 
@@ -243,3 +244,63 @@ class TestZS005WallClockGlobalState:
         text = "import time\nt = time.time()\n"
         path = "src/repro/analysis/cli.py"
         assert LintEngine().lint_text(text, path) == []
+
+    def test_obs_package_out_of_scope(self):
+        # The profiler/heartbeat measure the simulator process, which is
+        # the one legitimate use of the host clock.
+        text = "import time\nt = time.perf_counter()\n"
+        path = "src/repro/obs/profiling.py"
+        assert LintEngine().lint_text(text, path) == []
+
+
+def lint_core(text: str) -> set[str]:
+    """Codes for a snippet placed under a core/ path (ZS006 scope)."""
+    return {
+        f.code
+        for f in LintEngine().lint_text(text, "src/repro/core/x.py")
+    }
+
+
+class TestZS006CounterBypass:
+    def test_stats_facade_increment_flagged(self):
+        assert lint_core("self.stats.hits += 1\n") == {"ZS006"}
+
+    def test_named_stats_facade_flagged(self):
+        assert lint_core("self.victim_stats.swaps += 1\n") == {"ZS006"}
+
+    def test_foreign_stats_facade_flagged(self):
+        assert lint_core("cache.stats.data_writes += 1\n") == {"ZS006"}
+
+    def test_decrement_flagged(self):
+        assert lint_core("self.main.stats.writebacks -= 1\n") == {"ZS006"}
+
+    def test_bare_counter_suffix_on_self_flagged(self):
+        assert lint_core("self.writeback_hits += 1\n") == {"ZS006"}
+
+    def test_vocabulary_name_on_self_flagged(self):
+        assert lint_core("self.swaps += 1\n") == {"ZS006"}
+
+    def test_subscripted_counter_list_flagged(self):
+        assert lint_core("self.bank_accesses[bank] += 1\n") == {"ZS006"}
+
+    def test_counter_value_increment_clean(self):
+        assert lint_core("self._c_hits.value += 1\n") == set()
+
+    def test_counters_dict_increment_clean(self):
+        assert lint_core('sc["hits"].value += 1\n') == set()
+
+    def test_private_accumulator_clean(self):
+        assert lint_core("self._epoch_misses += 1\n") == set()
+
+    def test_non_counter_attribute_clean(self):
+        assert lint_core("self.queueing_cycles += delay\n") == set()
+
+    def test_non_self_plain_attribute_clean(self):
+        assert lint_core("repl.tag_reads += 1\n") == set()
+
+    def test_local_subscript_clean(self):
+        assert lint_core("cycles[core] += stall\n") == set()
+
+    def test_outside_core_and_sim_not_scoped(self):
+        text = "self.stats.hits += 1\n"
+        assert LintEngine().lint_text(text, "src/repro/viz/x.py") == []

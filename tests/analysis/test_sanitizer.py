@@ -11,7 +11,6 @@ Two halves, mirroring the sanitizer's promise:
   with the right ``kind``.
 """
 
-import dataclasses
 import random
 
 import pytest
@@ -107,7 +106,7 @@ class TestCleanRuns:
             return cache
 
         bare, wrapped = build(False), build(True)
-        assert dataclasses.asdict(bare.stats) == dataclasses.asdict(wrapped.stats)
+        assert bare.stats.as_dict() == wrapped.stats.as_dict()
         assert sorted(bare.resident()) == sorted(wrapped.resident())
 
     def test_attribute_forwarding(self):

@@ -28,5 +28,5 @@ def test_cli_lint_exits_zero_on_source_tree(capsys):
 def test_cli_lint_rules_listing(capsys):
     assert cli_main(["lint", "--rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("ZS001", "ZS002", "ZS003", "ZS004", "ZS005"):
+    for code in ("ZS001", "ZS002", "ZS003", "ZS004", "ZS005", "ZS006"):
         assert code in out

@@ -1,0 +1,1 @@
+"""Tests for the ZScope observability layer (repro.obs)."""

@@ -1,0 +1,80 @@
+"""Integration tests for ``zcache-repro stats`` and ``zcache-repro trace``."""
+
+import json
+
+from repro.cli import main
+
+
+class TestStats:
+    def test_fig2_text_snapshot(self, capsys):
+        code = main([
+            "stats", "fig2", "--blocks", "128", "--instructions", "800",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        # Hierarchical metric names for every candidate count, plus the
+        # wall-time attribution section.
+        for n in (4, 8, 16, 64):
+            assert f"n{n}.misses" in out
+        assert "wall-time attribution:" in out
+        assert "fig2.n4" in out
+
+    def test_fig2_json_snapshot(self, capsys):
+        code = main([
+            "stats", "fig2", "--blocks", "128", "--instructions", "800",
+            "--format", "json",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["experiment"] == "fig2"
+        assert payload["metrics"]["n4.accesses"] == 800
+        assert "fig2" in payload["phases"]
+
+    def test_unknown_experiment_rejected(self, capsys):
+        try:
+            code = main(["stats", "fig9"])
+        except SystemExit as exc:  # argparse exits on bad choices
+            code = exc.code
+        assert code == 2
+
+
+class TestTrace:
+    def test_fig2_trace_reconstruction_passes(self, tmp_path, capsys):
+        out_path = tmp_path / "t.jsonl"
+        code = main([
+            "trace", "fig2", "--blocks", "128", "--instructions", "800",
+            "--out", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out_path.exists()
+        assert "reconstruction (trace CDF vs in-process):" in out
+        assert "FAIL" not in out
+        assert out.count("OK") == 4
+
+    def test_trace_file_is_valid_jsonl(self, tmp_path, capsys):
+        out_path = tmp_path / "t.jsonl"
+        assert main([
+            "trace", "fig2", "--blocks", "128", "--instructions", "400",
+            "--out", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        kinds = set()
+        with open(out_path, encoding="utf-8") as f:
+            for line in f:
+                kinds.add(json.loads(line)["ev"])
+        assert {"access", "miss", "walk", "eviction"} <= kinds
+
+    def test_progress_log_heartbeat(self, tmp_path, capsys):
+        log = tmp_path / "hb.log"
+        assert main([
+            "stats", "sweep", "--workload", "canneal",
+            "--instructions", "300", "--progress-log", str(log),
+            "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "capture" in payload["phases"]
+        text = log.read_text()
+        assert "captured L2 stream" in text
+        assert "(2/2)" in text

@@ -1,0 +1,159 @@
+"""Unit tests for the ZScope metrics registry and stats facade."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, RegistryStats, sanitize_component
+
+
+class TestCounterAndGauge:
+    def test_counter_increments(self):
+        c = MetricsRegistry().counter("hits")
+        c.inc()
+        c.inc(3)
+        c.value += 1
+        assert c.value == 5
+        assert c.snapshot_value() == 5
+
+    def test_gauge_holds_last_value(self):
+        g = MetricsRegistry().gauge("ways")
+        g.set(4)
+        g.set(16)
+        assert g.snapshot_value() == 16
+
+
+class TestHistograms:
+    def test_fixed_buckets_and_exact_mean(self):
+        h = MetricsRegistry().histogram("lat", bounds=[1.0, 2.0, 4.0])
+        for x in (0.5, 1.5, 3.0, 100.0):
+            h.observe(x)
+        assert h.counts == [1, 1, 1, 1]  # last is the overflow bucket
+        assert h.mean == pytest.approx((0.5 + 1.5 + 3.0 + 100.0) / 4)
+        assert h.min == 0.5 and h.max == 100.0
+
+    def test_cdf_excludes_overflow(self):
+        h = MetricsRegistry().histogram("lat", bounds=[1.0, 2.0])
+        for x in (0.5, 1.5, 9.0):
+            h.observe(x)
+        assert h.cdf() == [(1.0, pytest.approx(1 / 3)), (2.0, pytest.approx(2 / 3))]
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", bounds=[2.0, 1.0])
+
+    def test_int_histogram_grows_and_merges(self):
+        h = MetricsRegistry().int_histogram("levels")
+        h.observe(0)
+        h.observe(2)
+        h.observe(2)
+        assert h.counts == [1, 0, 2]
+        h.add_counts([0, 5])
+        assert h.counts == [1, 5, 2]
+        assert h.count == 8
+
+    def test_int_histogram_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().int_histogram("levels").observe(-1)
+
+    def test_reservoir_is_bounded_and_deterministic(self):
+        r1 = MetricsRegistry().reservoir("e", capacity=16, seed=7)
+        r2 = MetricsRegistry().reservoir("e", capacity=16, seed=7)
+        for i in range(1000):
+            r1.observe(i / 1000)
+            r2.observe(i / 1000)
+        assert len(r1.samples) == 16
+        assert r1.count == 1000
+        assert r1.samples == r2.samples  # seeded: no determinism leak
+        assert 0.0 <= r1.quantile(0.5) <= 1.0
+
+
+class TestRegistry:
+    def test_scoped_views_share_one_store(self):
+        root = MetricsRegistry()
+        bank = root.scoped("l2").scoped("bank3")
+        c = bank.counter("walk.tag_reads")
+        assert c.name == "l2.bank3.walk.tag_reads"
+        assert root.get("l2.bank3.walk.tag_reads") is c
+
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("hits") is reg.counter("hits")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("hits")
+        with pytest.raises(TypeError):
+            reg.gauge("hits")
+
+    def test_names_respect_scope(self):
+        root = MetricsRegistry()
+        root.scoped("a").counter("x")
+        root.scoped("ab").counter("x")
+        assert root.scoped("a").names() == ["a.x"]
+        assert set(root.names()) == {"a.x", "ab.x"}
+
+    def test_sum_counters_aggregates_suffix(self):
+        root = MetricsRegistry()
+        for b in range(3):
+            root.scoped(f"l2.bank{b}").counter("hits").inc(b + 1)
+        root.scoped("l2").counter("hits_total")  # must not match ".hits"
+        assert root.scoped("l2").sum_counters("hits") == 6
+
+    def test_snapshot_and_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(2)
+        reg.gauge("ways").set(4)
+        snap = json.loads(reg.to_json())
+        assert snap == {"hits": 2, "ways": 4}
+
+    def test_render_text_lists_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(2)
+        reg.int_histogram("levels").observe(1)
+        text = reg.render_text()
+        assert "hits" in text and "levels" in text
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("")
+
+    def test_sanitize_component(self):
+        assert sanitize_component("Z4/52") == "Z4_52"
+        assert sanitize_component("SA-4h") == "SA-4h"
+        assert "." not in sanitize_component("a.b c")
+
+
+class _DemoStats(RegistryStats):
+    """Facade fixture with two counters."""
+
+    _COUNTER_FIELDS = ("hits", "misses")
+
+
+class TestRegistryStats:
+    def test_attribute_reads_and_writes_hit_the_registry(self):
+        reg = MetricsRegistry().scoped("l1")
+        stats = _DemoStats(reg)
+        stats.hits += 2
+        stats.misses = 5
+        assert reg.counter("hits").value == 2
+        assert reg.counter("misses").value == 5
+        assert stats.as_dict() == {"hits": 2, "misses": 5}
+
+    def test_unknown_counter_raises_attribute_error(self):
+        with pytest.raises(AttributeError):
+            _ = _DemoStats().bogus
+
+    def test_merge_counters(self):
+        a, b = _DemoStats(), _DemoStats()
+        a.hits = 1
+        b.hits = 10
+        b.misses = 3
+        a.merge_counters(b)
+        assert a.as_dict() == {"hits": 11, "misses": 3}
+
+    def test_hot_path_counter_objects_alias_the_facade(self):
+        stats = _DemoStats()
+        c = stats.counters()["hits"]
+        c.value += 7
+        assert stats.hits == 7

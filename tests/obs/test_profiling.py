@@ -1,0 +1,91 @@
+"""Unit tests for the ZScope phase timer and heartbeat."""
+
+import io
+
+from repro.obs import (
+    NULL_HEARTBEAT,
+    NULL_PHASE_TIMER,
+    PROGRESS_LOG_ENV,
+    Heartbeat,
+    PhaseTimer,
+)
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate_and_count(self):
+        timer = PhaseTimer()
+        with timer.phase("replay"):
+            pass
+        with timer.phase("replay"):
+            pass
+        timer.add("capture", 1.5)
+        assert timer.seconds("replay") >= 0.0
+        assert timer.seconds("capture") == 1.5
+        assert set(timer.report()) == {"replay", "capture"}
+
+    def test_report_sorted_by_time_descending(self):
+        timer = PhaseTimer()
+        timer.add("small", 0.1)
+        timer.add("big", 9.0)
+        assert list(timer.report()) == ["big", "small"]
+
+    def test_render_includes_shares_and_total(self):
+        timer = PhaseTimer()
+        timer.add("capture", 3.0)
+        timer.add("replay", 1.0)
+        text = timer.render()
+        assert "capture" in text and "75.0%" in text and "total" in text
+
+    def test_render_empty(self):
+        assert PhaseTimer().render() == "(no phases recorded)"
+
+    def test_disabled_timer_records_nothing(self):
+        with NULL_PHASE_TIMER.phase("x"):
+            pass
+        assert NULL_PHASE_TIMER.report() == {}
+
+    def test_unknown_phase_reads_zero(self):
+        assert PhaseTimer().seconds("never") == 0.0
+
+
+class TestHeartbeat:
+    def test_disabled_by_default(self):
+        hb = Heartbeat()
+        hb.beat("ignored")
+        assert hb.enabled is False
+        assert hb.beats == 0
+        assert NULL_HEARTBEAT.enabled is False
+
+    def test_beats_append_to_one_file(self, tmp_path):
+        log = tmp_path / "sweep" / "progress.log"
+        hb = Heartbeat(path=log)
+        hb.beat("captured stream")
+        hb.beat("replayed Z4/16", done=2, total=12)
+        lines = log.read_text().splitlines()
+        assert len(lines) == 2
+        assert "captured stream" in lines[0]
+        assert lines[1].endswith("replayed Z4/16 (2/12)")
+
+    def test_stream_output(self):
+        buf = io.StringIO()
+        Heartbeat(stream=buf).beat("alive")
+        assert "alive" in buf.getvalue()
+
+    def test_min_interval_rate_limits(self):
+        buf = io.StringIO()
+        hb = Heartbeat(stream=buf, min_interval=3600.0)
+        hb.beat("first")
+        hb.beat("suppressed")
+        assert hb.beats == 1
+        assert "suppressed" not in buf.getvalue()
+
+    def test_from_env_disabled_without_variable(self, monkeypatch):
+        monkeypatch.delenv(PROGRESS_LOG_ENV, raising=False)
+        assert Heartbeat.from_env().enabled is False
+
+    def test_from_env_uses_configured_path(self, tmp_path, monkeypatch):
+        log = tmp_path / "hb.log"
+        monkeypatch.setenv(PROGRESS_LOG_ENV, str(log))
+        hb = Heartbeat.from_env()
+        hb.beat("hello")
+        assert "hello" in log.read_text()

@@ -1,0 +1,65 @@
+"""Integration: Fig. 2's eviction CDF reconstructs exactly from a trace.
+
+This is the acceptance contract of the tracing layer: running the
+Fig. 2 experiment with a JSONL sink must yield a file from which the
+eviction-priority CDF can be rebuilt offline and match the in-process
+result (satellite of the ZScope issue).
+"""
+
+import numpy as np
+
+from repro.assoc import AssociativityDistribution
+from repro.experiments import fig2
+from repro.obs import (
+    JsonlSink,
+    ObsContext,
+    TraceBus,
+    collect_eviction_priorities,
+    count_by_kind,
+    read_jsonl,
+)
+
+BLOCKS = 128
+ACCESSES = 1_500
+
+
+class TestFig2TraceReconstruction:
+    def _run(self, tmp_path):
+        path = tmp_path / "fig2.jsonl"
+        obs = ObsContext(trace=TraceBus(JsonlSink(path)))
+        result = fig2.run(
+            cache_blocks=BLOCKS, accesses=ACCESSES, seed=3, obs=obs
+        )
+        obs.close()
+        return result, list(read_jsonl(path))
+
+    def test_offline_cdf_matches_in_process(self, tmp_path):
+        result, events = self._run(tmp_path)
+        priorities = collect_eviction_priorities(events)
+        for n in fig2.CANDIDATE_COUNTS:
+            samples = priorities[f"n{n}"]
+            assert samples, f"n={n} traced no evictions"
+            rebuilt = AssociativityDistribution(samples).cdf(result.xs)
+            np.testing.assert_allclose(
+                rebuilt, result.simulated[n][0], atol=1e-12,
+                err_msg=f"offline CDF diverged for n={n}",
+            )
+
+    def test_trace_is_internally_consistent(self, tmp_path):
+        result, events = self._run(tmp_path)
+        counts = count_by_kind(events)
+        # One access record per simulated access, one walk per miss.
+        assert counts["access"] == ACCESSES * len(fig2.CANDIDATE_COUNTS)
+        assert counts["walk"] == counts["miss"]
+        # seq is strictly increasing across the whole bus.
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_metrics_agree_with_trace(self, tmp_path):
+        path = tmp_path / "fig2.jsonl"
+        obs = ObsContext(trace=TraceBus(JsonlSink(path)))
+        fig2.run(cache_blocks=BLOCKS, accesses=ACCESSES, seed=3, obs=obs)
+        obs.close()
+        counts = count_by_kind(read_jsonl(path))
+        assert obs.metrics.sum_counters("misses") == counts["miss"]
+        assert obs.metrics.sum_counters("evictions") == counts["eviction"]
