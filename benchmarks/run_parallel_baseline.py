@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Measure the serial-vs-parallel sweep baseline for EXPERIMENTS.md.
+
+Times the ISSUE's reference sweep — 4 workloads x the 6 Fig. 4 designs
+under LRU — once serially and once with ``--jobs N``, verifies the two
+runs are bit-identical, and records the measurement (with the host CPU
+count, which bounds the attainable speedup) in
+``benchmarks/parallel_sweep_baseline.json``.
+
+Not collected by pytest (``run_`` prefix, and ``testpaths`` only covers
+``tests/``); run it by hand when re-baselining::
+
+    python benchmarks/run_parallel_baseline.py --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.parallel import default_jobs, run_parallel_sweeps
+from repro.experiments.runner import DESIGNS_FIG4, ExperimentScale
+
+WORKLOADS = ("blackscholes", "ammp", "canneal", "cactusADM")
+OUT = Path(__file__).with_name("parallel_sweep_baseline.json")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--instructions", type=int, default=3000)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    scale = ExperimentScale(
+        instructions_per_core=args.instructions,
+        workloads=WORKLOADS,
+        seed=args.seed,
+    )
+    runs = {}
+    results = {}
+    for label, jobs in (("serial", 1), ("parallel", args.jobs)):
+        t0 = time.perf_counter()
+        outcome = run_parallel_sweeps(
+            workloads=WORKLOADS, designs=DESIGNS_FIG4, scale=scale, jobs=jobs
+        )
+        runs[label] = time.perf_counter() - t0
+        results[label] = {
+            w: outcome.sweeps[w].results for w in WORKLOADS
+        }
+        assert not outcome.failed and not outcome.degraded
+    identical = results["serial"] == results["parallel"]
+    payload = {
+        "description": (
+            "Serial-vs-parallel wall time for the reference sweep (4 "
+            "workloads x 6 Fig.4 designs, LRU). The attainable speedup "
+            "is bounded by host_cpus (capture runs once in the parent; "
+            "only replays parallelise). Regenerate with `python "
+            "benchmarks/run_parallel_baseline.py --jobs N`."
+        ),
+        "workloads": list(WORKLOADS),
+        "designs": [d.label() for d in DESIGNS_FIG4],
+        "instructions_per_core": args.instructions,
+        "seed": args.seed,
+        "jobs": args.jobs,
+        "host_cpus": default_jobs(),
+        "serial_seconds": round(runs["serial"], 3),
+        "parallel_seconds": round(runs["parallel"], 3),
+        "speedup": round(runs["serial"] / runs["parallel"], 3),
+        "bit_identical": identical,
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(payload, indent=2))
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

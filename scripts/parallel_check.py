@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""CI guard: the parallel sweep engine must match the serial path bit
+for bit.
+
+Runs the same mini-sweep (two workloads, the Fig. 4 design matrix, LRU)
+twice — once in-process and once across two worker processes — and
+diffs every :class:`~repro.sim.cmp.CMPResult` field. Any divergence
+means the deterministic-merge contract of
+:mod:`repro.experiments.parallel` is broken and the figure sweeps can
+no longer be trusted to parallelise safely.
+
+Usage::
+
+    python scripts/parallel_check.py                 # default mini-sweep
+    python scripts/parallel_check.py --jobs 4 --instructions 2000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.parallel import run_parallel_sweeps
+from repro.experiments.runner import DESIGNS_FIG4, ExperimentScale
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--instructions", type=int, default=1000)
+    parser.add_argument("--workloads", type=str, default="gcc,canneal")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    workloads = args.workloads.split(",")
+    scale = ExperimentScale(
+        instructions_per_core=args.instructions,
+        workloads=tuple(workloads),
+        seed=args.seed,
+    )
+    serial = run_parallel_sweeps(
+        workloads=workloads, designs=DESIGNS_FIG4, scale=scale, jobs=1
+    )
+    parallel = run_parallel_sweeps(
+        workloads=workloads, designs=DESIGNS_FIG4, scale=scale, jobs=args.jobs
+    )
+
+    failures = 0
+    if parallel.degraded:
+        print("FAIL: parallel sweep degraded to serial (worker pool died)")
+        failures += 1
+    for outcome in (serial, parallel):
+        for o in outcome.failed:
+            print(f"FAIL: job did not finish: {o.key}: {o.error}")
+            failures += 1
+    for w in workloads:
+        s, p = serial.sweeps[w].results, parallel.sweeps[w].results
+        if set(s) != set(p):
+            print(f"FAIL: {w}: job sets differ: {set(s) ^ set(p)}")
+            failures += 1
+            continue
+        for key in sorted(s):
+            if s[key] != p[key]:
+                print(f"FAIL: {w} {key}: serial and parallel results differ")
+                print(f"  serial:   mpki={s[key].l2_mpki:.4f} "
+                      f"cycles={s[key].total_cycles}")
+                print(f"  parallel: mpki={p[key].l2_mpki:.4f} "
+                      f"cycles={p[key].total_cycles}")
+                failures += 1
+    jobs_checked = sum(len(serial.sweeps[w].results) for w in workloads)
+    if failures:
+        print(f"parallel_check: {failures} failure(s)")
+        return 1
+    print(
+        f"parallel_check OK: {jobs_checked} jobs bit-identical across "
+        f"{args.jobs} workers"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,10 @@
-"""Full-scale experiment runs for EXPERIMENTS.md."""
-import sys, time, io, contextlib
+"""Full-scale experiment runs for EXPERIMENTS.md.
+
+Set REPRO_JOBS=N to fan the design-sweep experiments (fig4, fig5)
+across N worker processes (repro.experiments.parallel); results are
+bit-identical to the serial run.
+"""
+import os, sys, time, io, contextlib
 
 def run(name, fn):
     t0 = time.time()
@@ -15,6 +20,7 @@ from repro.experiments import fig2, fig3, fig4, fig5, table1, table2, bandwidth,
 from repro.experiments.runner import ExperimentScale
 
 SCALE = ExperimentScale(instructions_per_core=6000, seed=1)
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 
 run("table1", table1.main)
 run("table2", table2.main)
@@ -27,7 +33,7 @@ def fig3_main():
 run("fig3", fig3_main)
 
 def fig4_main():
-    result = fig4.run(scale=SCALE, policies=("opt", "lru"))
+    result = fig4.run(scale=SCALE, policies=("opt", "lru"), jobs=JOBS)
     for s in sorted(result.series, key=lambda s: (s.metric, s.policy, s.design)):
         print(s.row())
     print()
@@ -44,7 +50,7 @@ def fig4_main():
 run("fig4", fig4_main)
 
 def fig5_main():
-    for cell in fig5.run(scale=SCALE, policies=("lru", "opt")):
+    for cell in fig5.run(scale=SCALE, policies=("lru", "opt"), jobs=JOBS):
         print(cell.row())
 run("fig5", fig5_main)
 

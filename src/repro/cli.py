@@ -10,6 +10,7 @@ Examples::
     zcache-repro check --sanitize
     zcache-repro stats fig2 --format json
     zcache-repro trace fig2 --instructions 2000
+    zcache-repro sweep --jobs 4 --workloads canneal,gcc --checkpoint ck.json
 
 ``lint`` and ``check`` are the correctness-tooling subcommands (the
 ZSan static analyzer and the runtime invariant sanitizer; see
@@ -58,6 +59,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import run_trace
 
         return run_trace(argv[1:])
+    if argv and argv[0] == "sweep":
+        from repro.experiments.parallel import run_sweep_cli
+
+        return run_sweep_cli(argv[1:])
     parser = argparse.ArgumentParser(
         prog="zcache-repro",
         description="Reproduce the tables and figures of the zcache paper "
@@ -65,9 +70,10 @@ def main(argv: list[str] | None = None) -> int:
         epilog="Additional subcommands: 'zcache-repro lint [paths...]' "
         "(ZSan static analysis, rules ZS001-ZS006), 'zcache-repro "
         "check --sanitize' (runtime invariant sanitizer), 'zcache-repro "
-        "stats <experiment>' (ZScope metrics snapshot) and 'zcache-repro "
-        "trace <experiment>' (JSONL event trace + offline summary); "
-        "each has its own --help.",
+        "stats <experiment>' (ZScope metrics snapshot), 'zcache-repro "
+        "trace <experiment>' (JSONL event trace + offline summary) and "
+        "'zcache-repro sweep --jobs N' (parallel design sweep with "
+        "checkpoint/resume); each has its own --help.",
     )
     parser.add_argument(
         "experiment",

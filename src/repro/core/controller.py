@@ -352,6 +352,25 @@ class Cache:
         victim = self.policy.select_victim(list(by_address))
         return by_address[victim]
 
+    # -- writeback absorption ----------------------------------------------------
+    def absorb_writeback(self, address: int) -> bool:
+        """Absorb a writeback from the level above (an L1 dirty eviction).
+
+        If the block is resident, its data is rewritten and it becomes
+        dirty; the replacement policy is *not* notified — a writeback is
+        not a demand reference. Returns True when absorbed, False when
+        the block is not resident (the caller forwards it to memory).
+
+        This is the sanctioned API for what used to be done by reaching
+        into ``cache._dirty`` and the stats dict from the outside; the
+        data-write counter is the cached hot-path reference.
+        """
+        if self.array.lookup(address) is None:
+            return False
+        self._c_data_writes.value += 1
+        self._dirty.add(address)
+        return True
+
     # -- external block removal ------------------------------------------------
     def invalidate(self, address: int) -> bool:
         """Remove a block (coherence or inclusion victim).

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from repro.experiments.runner import (
     DESIGNS_FIG4,
     ExperimentScale,
-    run_design_sweep,
+    collect_design_sweeps,
 )
 from repro.util.statistics import geometric_mean
 
@@ -67,15 +67,21 @@ class Fig4Result:
 def run(
     scale: ExperimentScale = ExperimentScale(),
     policies: tuple = ("opt", "lru"),
+    jobs: int = 1,
 ) -> Fig4Result:
-    """Run the Fig. 4 sweep. The baseline is DESIGNS_FIG4[0]."""
+    """Run the Fig. 4 sweep. The baseline is DESIGNS_FIG4[0].
+
+    ``jobs > 1`` fans the (workload, design, policy) replays across
+    worker processes; results are bit-identical to a serial run.
+    """
     base_label = DESIGNS_FIG4[0].label()
     raw: dict = {}
     per_design: dict = {}
-    for workload in scale.workload_names():
-        sweep = run_design_sweep(
-            workload, DESIGNS_FIG4, policies=policies, scale=scale
-        )
+    sweeps = collect_design_sweeps(
+        scale.workload_names(), DESIGNS_FIG4,
+        policies=policies, scale=scale, jobs=jobs,
+    )
+    for workload, sweep in sweeps.items():
         for policy in policies:
             base = sweep.results[(base_label, policy)]
             raw[(workload, policy)] = {}

@@ -16,8 +16,8 @@ from repro.energy import CacheCostModel, ChipPowerModel
 from repro.experiments.runner import (
     ExperimentScale,
     baseline_design,
+    collect_design_sweeps,
     representative_workloads,
-    run_design_sweep,
 )
 from repro.sim import CMPConfig, L2DesignConfig
 from repro.sim.cmp import CMPResult
@@ -92,8 +92,13 @@ def run(
     scale: ExperimentScale = ExperimentScale(),
     policies: tuple = ("lru",),
     cfg: CMPConfig | None = None,
+    jobs: int = 1,
 ) -> list[Fig5Cell]:
-    """Run the Fig. 5 sweep; one cell per design/policy/group."""
+    """Run the Fig. 5 sweep; one cell per design/policy/group.
+
+    ``jobs > 1`` fans the replays across worker processes (bit-identical
+    results, see :mod:`repro.experiments.parallel`).
+    """
     cfg = cfg or CMPConfig()
     designs = fig5_designs()
     base_label = baseline_design(parallel=False).label()
@@ -101,8 +106,10 @@ def run(
     # per (design,policy) -> workload -> (ipc_imp, eff_imp); plus base MPKIs
     imps: dict = {}
     base_mpki: dict = {}
-    for workload in names:
-        sweep = run_design_sweep(workload, designs, policies=policies, scale=scale)
+    sweeps = collect_design_sweeps(
+        names, designs, policies=policies, scale=scale, jobs=jobs
+    )
+    for workload, sweep in sweeps.items():
         for policy in policies:
             base = sweep.results[(base_label, policy)]
             base_energy = energy_report(base, baseline_design(), cfg)

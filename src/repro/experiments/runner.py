@@ -68,12 +68,19 @@ def run_design_sweep(
     cfg: Optional[CMPConfig] = None,
     policy_wrapper=None,
     obs: Optional[ObsContext] = None,
+    jobs: int = 1,
 ) -> SweepResult:
     """Capture a workload's L2 stream once, replay it per design/policy.
 
     OPT policies are supported (the captured stream provides the future
     trace). Returns a :class:`SweepResult` keyed by (design label,
     policy name).
+
+    ``jobs > 1`` fans the (design, policy) replays across that many
+    worker processes via :mod:`repro.experiments.parallel`; results are
+    bit-identical to the serial path (replay is deterministic given the
+    captured trace) and worker metrics merge back into ``obs`` under
+    the same per-design scopes the serial path uses.
 
     When an :class:`~repro.obs.ObsContext` is given, the capture and
     each replay run under its phase timer (``capture``,
@@ -83,6 +90,21 @@ def run_design_sweep(
     ``ZCACHE_PROGRESS_LOG`` environment variable names a log file.
     """
     cfg = cfg or CMPConfig()
+    if jobs > 1:
+        from repro.experiments.parallel import run_parallel_sweeps
+
+        outcome = run_parallel_sweeps(
+            workloads=[workload_name],
+            designs=designs,
+            policies=policies,
+            scale=scale,
+            cfg=cfg,
+            jobs=jobs,
+            obs=obs,
+            policy_wrapper=policy_wrapper,
+            scope_workloads=False,
+        )
+        return outcome.sweeps[workload_name]
     workload = get_workload(workload_name)
     profiler = obs.profiler if obs is not None else NULL_PHASE_TIMER
     heartbeat = obs.heartbeat if obs is not None else Heartbeat.from_env()
@@ -113,6 +135,46 @@ def run_design_sweep(
             total=len(jobs),
         )
     return sweep
+
+
+def collect_design_sweeps(
+    workloads: Iterable[str],
+    designs: Iterable[L2DesignConfig],
+    policies: Iterable[str] = ("lru",),
+    scale: ExperimentScale = ExperimentScale(),
+    cfg: Optional[CMPConfig] = None,
+    jobs: int = 1,
+    obs: Optional[ObsContext] = None,
+) -> dict:
+    """Sweep several workloads; returns workload name -> SweepResult.
+
+    With ``jobs > 1`` the full (workload x design x policy) product fans
+    across worker processes (:mod:`repro.experiments.parallel`), which
+    is how ``scripts_run_all.py`` and the figure sweeps parallelise;
+    with ``jobs == 1`` it is a plain loop over :func:`run_design_sweep`.
+    Both paths produce bit-identical results.
+    """
+    workloads = list(workloads)
+    designs = list(designs)
+    if jobs > 1:
+        from repro.experiments.parallel import run_parallel_sweeps
+
+        outcome = run_parallel_sweeps(
+            workloads=workloads,
+            designs=designs,
+            policies=policies,
+            scale=scale,
+            cfg=cfg,
+            jobs=jobs,
+            obs=obs,
+        )
+        return outcome.sweeps
+    return {
+        w: run_design_sweep(
+            w, designs, policies=policies, scale=scale, cfg=cfg, obs=obs
+        )
+        for w in workloads
+    }
 
 
 def improvement(base: float, value: float) -> float:

@@ -385,6 +385,72 @@ class MetricsRegistry:
             if isinstance(m, Counter) and m.name.endswith(tail)
         )
 
+    # -- merging -----------------------------------------------------------
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
+        """Merge a :meth:`snapshot` dict into this view, additively.
+
+        The deterministic-merge half of the parallel sweep engine: each
+        worker process runs under a private registry, snapshots it, and
+        the parent folds the snapshots back in. Names are re-rooted
+        under this view's prefix. Merge semantics per metric kind:
+
+        - scalar values add into a :class:`Counter` (unless the name is
+          already registered as a :class:`Gauge`, which is *set* — a
+          gauge is a point-in-time reading, not a total);
+        - fixed-bucket histogram summaries add bucket counts, count and
+          sum, and fold min/max (bucket bounds must match);
+        - dense int-histogram summaries add their counts lists;
+        - reservoir summaries add their stream ``count`` only — a
+          snapshot carries quantile estimates, not the samples, so the
+          retained sample set stays the parent's own.
+
+        Merging is associative and order-independent for everything
+        except reservoir samples, which is what makes the parallel
+        sweep's metrics bit-identical to a serial run's for all counter
+        and histogram metrics regardless of worker scheduling.
+        """
+        for name, value in snapshot.items():
+            existing = self._store.get(self._full(name))
+            if isinstance(value, bool):
+                raise ValueError(f"unmergeable snapshot entry {name!r}: {value!r}")
+            if isinstance(value, (int, float)):
+                if isinstance(existing, Gauge):
+                    existing.value = value
+                else:
+                    self.counter(name).value += value
+            elif isinstance(value, dict) and "buckets" in value:
+                bounds = [
+                    b["le"] for b in value["buckets"] if b["le"] is not None
+                ]
+                hist = self.histogram(name, bounds)
+                if hist.bounds != bounds:
+                    raise ValueError(
+                        f"histogram {self._full(name)!r} bucket bounds "
+                        f"{hist.bounds} do not match snapshot's {bounds}"
+                    )
+                for i, bucket in enumerate(value["buckets"]):
+                    hist.counts[i] += bucket["count"]
+                hist.count += value["count"]
+                hist.total += value["sum"]
+                for bound_attr, pick in (("min", min), ("max", max)):
+                    theirs = value.get(bound_attr)
+                    if theirs is None:
+                        continue
+                    mine = getattr(hist, bound_attr)
+                    setattr(
+                        hist,
+                        bound_attr,
+                        theirs if mine is None else pick(mine, theirs),
+                    )
+            elif isinstance(value, dict) and "counts" in value:
+                self.int_histogram(name).add_counts(value["counts"])
+            elif isinstance(value, dict) and "retained" in value:
+                self.reservoir(name).count += value["count"]
+            else:
+                raise ValueError(
+                    f"unmergeable snapshot entry {name!r}: {value!r}"
+                )
+
     # -- export ------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
         """Flat ``full-name -> snapshot value`` dict, sorted by name."""

@@ -17,7 +17,7 @@ required for OPT, and an order of magnitude faster for design sweeps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Iterator, Optional
 
 from repro.core import Cache, SetAssociativeArray
@@ -26,7 +26,7 @@ from repro.obs import ObsContext
 from repro.replacement import LRU
 from repro.sim.config import CMPConfig
 from repro.sim.directory import Directory
-from repro.sim.l2 import BankedL2
+from repro.sim.l2 import BankedL2, bank_index
 
 
 @dataclass
@@ -89,6 +89,15 @@ class CMPResult:
             return 0.0
         total_tag = self.l2_accesses + self.walk_tag_reads
         return total_tag / len(self.bank_accesses) / self.total_cycles
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (checkpoint files, worker results)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CMPResult":
+        """Rebuild a result from :meth:`to_dict` output (JSON-safe)."""
+        return cls(**data)
 
 
 class _MemoryChannel:
@@ -277,7 +286,15 @@ class CMPSimulator:
                             l2.walk_tag_reads - walk_reads_before,
                         )
                         stall += cfg.mem_latency
-                        stall += int(channel.demand(acc.address, cycles[core]))
+                        # The miss reaches the controller after the L2
+                        # round-trip and zero-load latency already in
+                        # `stall` — the same post-latency timestamp
+                        # TraceDrivenRunner.replay uses. Passing the
+                        # pre-stall `cycles[core]` here overstated
+                        # queueing relative to trace-driven runs.
+                        stall += int(
+                            channel.demand(acc.address, cycles[core] + stall)
+                        )
                         if outcome.evicted is not None:
                             # Inclusion: kill the victims' L1 copies.
                             for victim_core in directory.inclusion_invalidate(
@@ -285,7 +302,9 @@ class CMPSimulator:
                             ):
                                 l1_invalidate(victim_core, outcome.evicted)
                         if outcome.writeback:
-                            channel.writeback(outcome.evicted, cycles[core])
+                            channel.writeback(
+                                outcome.evicted, cycles[core] + stall
+                            )
                     for victim_core in directory.fill(
                         acc.address, core, acc.is_write
                     ):
@@ -346,11 +365,16 @@ class CapturedTrace:
     coherence_invalidations: int
 
     def bank_demand_traces(self, num_banks: int) -> list[list[int]]:
-        """Per-bank demand-address sequences (the OPT future traces)."""
+        """Per-bank demand-address sequences (the OPT future traces).
+
+        Uses the same :func:`~repro.sim.l2.bank_index` mapping as
+        :class:`~repro.sim.l2.BankedL2`, so OPT's future traces can
+        never drift from the banks the demand accesses actually reach.
+        """
         traces: list[list[int]] = [[] for _ in range(num_banks)]
         for kind, _core, address, _w, _work in self.events:
             if kind == MISS:
-                traces[address % num_banks].append(address)
+                traces[bank_index(address, num_banks)].append(address)
         return traces
 
 
@@ -375,6 +399,30 @@ class TraceDrivenRunner:
         self.instructions_per_core = instructions_per_core
         self.seed = seed
         self._captured: Optional[CapturedTrace] = None
+
+    @classmethod
+    def from_captured(
+        cls,
+        cfg: CMPConfig,
+        captured: CapturedTrace,
+        instructions_per_core: int = 100_000,
+        seed: int = 0,
+    ) -> "TraceDrivenRunner":
+        """A runner seeded with an already-captured stream.
+
+        The parallel sweep engine captures each workload's stream once
+        in the parent process and ships the :class:`CapturedTrace` to
+        workers; a worker rebuilds a runner from it without needing the
+        workload generator (``capture`` is already satisfied).
+        """
+        runner = cls(
+            cfg,
+            workload=None,
+            instructions_per_core=instructions_per_core,
+            seed=seed,
+        )
+        runner._captured = captured
+        return runner
 
     def capture(self) -> CapturedTrace:
         """Phase 1: L1 filtering and coherence, recording L2 events."""

@@ -28,6 +28,17 @@ from repro.replacement import BucketedLRU, LFU, LRU, FIFO, NRU, RandomPolicy, SR
 from repro.sim.config import CMPConfig
 
 
+def bank_index(address: int, num_banks: int) -> int:
+    """Address-interleaved bank mapping, shared by every site that needs it.
+
+    This is *the* interleaving function: :meth:`BankedL2.bank_for` and
+    the trace-capture path (``CapturedTrace.bank_demand_traces``, which
+    builds OPT's per-bank future traces) both call it, so a change to
+    the interleaving can never silently desynchronise them.
+    """
+    return address % num_banks
+
+
 @dataclass
 class L2AccessOutcome:
     """Result of one L2 demand access."""
@@ -163,8 +174,8 @@ class BankedL2:
         self._bank_access[bank].value += 1
 
     def bank_for(self, address: int) -> int:
-        """Address-interleaved bank selection."""
-        return address % self.cfg.l2_banks
+        """Address-interleaved bank selection (see :func:`bank_index`)."""
+        return bank_index(address, self.cfg.l2_banks)
 
     def access(self, address: int, is_write: bool) -> L2AccessOutcome:
         """One demand access (an L1 miss reaching the L2)."""
@@ -189,10 +200,7 @@ class BankedL2:
         """
         bank = self.bank_for(address)
         self._bank_access[bank].value += 1
-        cache = self.banks[bank]
-        if address in cache:
-            cache.stats.counters()["data_writes"].value += 1
-            cache._dirty.add(address)
+        if self.banks[bank].absorb_writeback(address):
             self._c_writeback_hits.value += 1
             return True
         self._c_writeback_misses.value += 1

@@ -36,10 +36,15 @@ class BloomFilter:
     ) -> None:
         if num_bits < 1:
             raise ValueError(f"num_bits must be >= 1, got {num_bits}")
-        self.num_bits = num_bits
+        # Round up to whole 64-bit words, as the docstring promises: the
+        # bit vector is conceptually an array of machine words, and
+        # false_positive_rate() must reflect the real vector size.
+        self.num_bits = (num_bits + 63) // 64 * 64
         if num_hashes is None:
             if expected_items:
-                num_hashes = max(1, round(math.log(2) * num_bits / expected_items))
+                num_hashes = max(
+                    1, round(math.log(2) * self.num_bits / expected_items)
+                )
             else:
                 num_hashes = 2
         if num_hashes < 1:

@@ -167,3 +167,37 @@ class TestFullyAssociative:
         result = cache.access(9)
         assert result.filled_empty
         cache.array.check_invariants()
+
+
+class TestAbsorbWriteback:
+    def test_present_line_absorbs_and_dirties(self):
+        cache = Cache(SetAssociativeArray(2, 8), LRU())
+        cache.access(5, is_write=False)
+        writes_before = cache.stats.data_writes
+        assert cache.absorb_writeback(5) is True
+        assert cache.is_dirty(5)
+        assert cache.stats.data_writes == writes_before + 1
+
+    def test_absent_line_refuses(self):
+        cache = Cache(SetAssociativeArray(2, 8), LRU())
+        assert cache.absorb_writeback(5) is False
+        assert cache.stats.data_writes == 0
+
+    def test_does_not_touch_replacement_state(self):
+        # An L1 dirty eviction is not a demand reference: absorbing it
+        # must not refresh recency, unlike access().
+        cache = Cache(SetAssociativeArray(2, 1), LRU())
+        cache.access(0)
+        cache.access(2)  # set now [0, 2], LRU = 0
+        cache.absorb_writeback(0)
+        cache.access(4)  # evicts the LRU line
+        assert 0 not in cache
+        assert 2 in cache
+
+    def test_absorbed_dirt_writes_back_on_eviction(self):
+        cache = Cache(SetAssociativeArray(1, 1), LRU())
+        cache.access(0, is_write=False)
+        cache.absorb_writeback(0)
+        outcome = cache.access(8)
+        assert outcome.evicted == 0
+        assert outcome.writeback is True

@@ -1,0 +1,226 @@
+"""Tests for the parallel sweep engine (repro.experiments.parallel)."""
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import (
+    ParallelSweepOutcome,
+    SweepCheckpoint,
+    SweepJob,
+    default_jobs,
+    derive_job_seed,
+    run_parallel_sweeps,
+    run_sweep_cli,
+)
+from repro.experiments.runner import (
+    ExperimentScale,
+    collect_design_sweeps,
+    run_design_sweep,
+)
+from repro.obs import ObsContext
+from repro.sim import L2DesignConfig
+
+WORKLOADS = ("gcc", "canneal")
+DESIGNS = (
+    L2DesignConfig(kind="sa", ways=4, hash_kind="h3"),
+    L2DesignConfig(kind="z", ways=4, levels=2),
+)
+SCALE = ExperimentScale(instructions_per_core=600, workloads=WORKLOADS, seed=5)
+
+
+def mini_sweep(**kw):
+    kw.setdefault("workloads", WORKLOADS)
+    kw.setdefault("designs", DESIGNS)
+    kw.setdefault("scale", SCALE)
+    return run_parallel_sweeps(**kw)
+
+
+class TestJobIdentity:
+    def test_job_key_and_scope(self):
+        job = SweepJob("gcc", DESIGNS[1], "lru", seed=1)
+        assert job.key == "gcc|Z4/16-S|lru"
+        assert job.scope(include_workload=True) == "gcc.Z4_16-S.lru"
+        assert job.scope(include_workload=False) == "Z4_16-S.lru"
+
+    def test_seed_is_deterministic_and_distinct(self):
+        a = derive_job_seed(1, "gcc|SA-4h-S|lru")
+        assert a == derive_job_seed(1, "gcc|SA-4h-S|lru")
+        assert a != derive_job_seed(2, "gcc|SA-4h-S|lru")
+        assert a != derive_job_seed(1, "gcc|SA-4h-S|opt")
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestDeterministicMerge:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        serial = mini_sweep(jobs=1)
+        parallel = mini_sweep(jobs=2)
+        assert set(serial.sweeps) == set(parallel.sweeps)
+        for w in serial.sweeps:
+            assert serial.sweeps[w].results == parallel.sweeps[w].results
+        assert not parallel.degraded
+        assert all(
+            o.status == "parallel" for o in parallel.outcomes.values()
+        )
+
+    def test_parallel_matches_run_design_sweep(self):
+        direct = run_design_sweep("gcc", DESIGNS, scale=SCALE)
+        via_engine = run_design_sweep("gcc", DESIGNS, scale=SCALE, jobs=2)
+        assert direct.results == via_engine.results
+
+    def test_collect_design_sweeps_parallel_path(self):
+        serial = collect_design_sweeps(WORKLOADS, DESIGNS, scale=SCALE)
+        parallel = collect_design_sweeps(
+            WORKLOADS, DESIGNS, scale=SCALE, jobs=2
+        )
+        for w in WORKLOADS:
+            assert serial[w].results == parallel[w].results
+
+    def test_worker_metrics_merge_into_parent_registry(self):
+        obs_serial, obs_parallel = ObsContext(), ObsContext()
+        mini_sweep(jobs=1, obs=obs_serial)
+        mini_sweep(jobs=2, obs=obs_parallel)
+        snap_serial = obs_serial.metrics.snapshot()
+        snap_parallel = obs_parallel.metrics.snapshot()
+        assert snap_parallel
+        # counters and histograms merge deterministically; the reservoir
+        # quantile estimates are worker-local (only counts merge), so
+        # compare everything except retained-sample summaries.
+        scalar_serial = {
+            k: v
+            for k, v in snap_serial.items()
+            if not (isinstance(v, dict) and "retained" in v)
+        }
+        scalar_parallel = {
+            k: v
+            for k, v in snap_parallel.items()
+            if not (isinstance(v, dict) and "retained" in v)
+        }
+        assert scalar_serial == scalar_parallel
+
+    def test_parent_profiler_sees_worker_phases(self):
+        obs = ObsContext()
+        mini_sweep(jobs=2, obs=obs)
+        phases = obs.profiler.report()
+        assert any(p.startswith("capture.") for p in phases)
+        assert any(p.startswith("replay.") for p in phases)
+
+
+class TestCheckpoint:
+    def test_resume_restores_everything(self, tmp_path):
+        path = tmp_path / "ck.json"
+        first = mini_sweep(jobs=2, checkpoint=str(path))
+        assert path.exists()
+        second = mini_sweep(jobs=2, checkpoint=str(path))
+        assert second.restored == len(first.outcomes)
+        assert all(
+            o.status == "checkpoint" for o in second.outcomes.values()
+        )
+        for w in first.sweeps:
+            assert first.sweeps[w].results == second.sweeps[w].results
+
+    def test_stale_checkpoint_is_ignored(self, tmp_path):
+        path = tmp_path / "ck.json"
+        mini_sweep(jobs=1, checkpoint=str(path))
+        stale_scale = ExperimentScale(
+            instructions_per_core=600, workloads=WORKLOADS, seed=6
+        )
+        again = mini_sweep(jobs=1, checkpoint=str(path), scale=stale_scale)
+        assert again.restored == 0
+
+    def test_corrupt_checkpoint_is_ignored(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{not json", encoding="utf-8")
+        ck = SweepCheckpoint(path, fingerprint={"v": 1})
+        assert ck.load() == {}
+
+    def test_record_is_atomic_json(self, tmp_path):
+        path = tmp_path / "ck.json"
+        mini_sweep(jobs=1, checkpoint=str(path))
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert set(data) == {"fingerprint", "results"}
+        assert len(data["results"]) == len(WORKLOADS) * len(DESIGNS)
+        assert not path.with_name(path.name + ".tmp").exists()
+
+
+class TestRobustness:
+    def test_serial_failure_is_marked_and_sweep_continues(self):
+        calls = []
+
+        def exploding_wrapper(policy):
+            calls.append(policy)
+            raise RuntimeError("boom")
+
+        outcome = mini_sweep(jobs=1, policy_wrapper=exploding_wrapper)
+        assert calls  # the wrapper genuinely ran
+        assert len(outcome.failed) == len(WORKLOADS) * len(DESIGNS)
+        for o in outcome.failed:
+            assert o.status == "failed"
+            assert "RuntimeError" in o.error
+        # failed jobs leave no results behind
+        assert all(not s.results for s in outcome.sweeps.values())
+
+    def test_unpicklable_job_degrades_to_serial(self):
+        # A lambda cannot cross the process boundary: every submission
+        # fails, the retry fails too, and the degraded-serial fallback
+        # (where the lambda works fine) completes the sweep.
+        outcome = mini_sweep(jobs=2, policy_wrapper=lambda p: p)
+        assert outcome.degraded
+        assert not outcome.failed
+        assert all(
+            o.status == "serial" for o in outcome.outcomes.values()
+        )
+        clean = mini_sweep(jobs=1)
+        for w in clean.sweeps:
+            assert clean.sweeps[w].results == outcome.sweeps[w].results
+
+    def test_failed_property_empty_on_success(self):
+        assert ParallelSweepOutcome().failed == []
+
+
+class TestSweepCli:
+    def test_cli_runs_and_reports(self, capsys, tmp_path):
+        json_path = tmp_path / "out.json"
+        rc = run_sweep_cli(
+            [
+                "--workloads", "gcc",
+                "--instructions", "400",
+                "--jobs", "2",
+                "--json", str(json_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "gcc" in out and "SA-4h-S" in out
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert all(v["status"] == "parallel" for v in payload.values())
+
+    def test_cli_checkpoint_resume(self, capsys, tmp_path):
+        ck = tmp_path / "ck.json"
+        args = [
+            "--workloads", "gcc", "--instructions", "400",
+            "--jobs", "1", "--checkpoint", str(ck),
+        ]
+        assert run_sweep_cli(args) == 0
+        capsys.readouterr()
+        assert run_sweep_cli(args) == 0
+        assert "restored" in capsys.readouterr().out
+
+    def test_cli_progress_log(self, capsys, tmp_path):
+        log = tmp_path / "progress.log"
+        rc = run_sweep_cli(
+            [
+                "--workloads", "gcc", "--instructions", "400",
+                "--jobs", "1", "--progress-log", str(log),
+            ]
+        )
+        assert rc == 0
+        assert "captured L2 stream" in log.read_text(encoding="utf-8")
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_timeout_option_accepted(jobs):
+    outcome = mini_sweep(jobs=jobs, timeout=300.0)
+    assert not outcome.failed

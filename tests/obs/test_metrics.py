@@ -157,3 +157,92 @@ class TestRegistryStats:
         c = stats.counters()["hits"]
         c.value += 7
         assert stats.hits == 7
+
+
+class TestMergeSnapshot:
+    def test_counters_add(self):
+        worker = MetricsRegistry()
+        worker.counter("l2.hits").value = 7
+        parent = MetricsRegistry()
+        parent.counter("l2.hits").value = 3
+        parent.merge_snapshot(worker.snapshot())
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.counter("l2.hits").value == 17
+
+    def test_names_reroot_under_view_prefix(self):
+        worker = MetricsRegistry()
+        worker.counter("hits").value = 2
+        parent = MetricsRegistry()
+        parent.scoped("job0").merge_snapshot(worker.snapshot())
+        assert parent.counter("job0.hits").value == 2
+
+    def test_gauge_is_set_not_added(self):
+        parent = MetricsRegistry()
+        parent.gauge("occupancy").value = 10
+        parent.merge_snapshot({"occupancy": 4})
+        assert parent.gauge("occupancy").value == 4
+
+    def test_histograms_merge_bucketwise(self):
+        bounds = [1.0, 10.0]
+        worker = MetricsRegistry()
+        h = worker.histogram("lat", bounds)
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        parent = MetricsRegistry()
+        parent.histogram("lat", bounds).observe(2.0)
+        parent.merge_snapshot(worker.snapshot())
+        merged = parent.histogram("lat", bounds)
+        assert merged.count == 4
+        assert merged.total == pytest.approx(57.5)
+        assert merged.min == 0.5
+        assert merged.max == 50.0
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        worker = MetricsRegistry()
+        worker.histogram("lat", [1.0, 10.0]).observe(2.0)
+        parent = MetricsRegistry()
+        parent.histogram("lat", [2.0, 20.0])
+        with pytest.raises(ValueError, match="bounds"):
+            parent.merge_snapshot(worker.snapshot())
+
+    def test_int_histograms_merge(self):
+        worker = MetricsRegistry()
+        ih = worker.int_histogram("walks")
+        ih.observe(2)
+        ih.observe(2)
+        parent = MetricsRegistry()
+        parent.int_histogram("walks").observe(1)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.int_histogram("walks").counts[1] == 1
+        assert parent.int_histogram("walks").counts[2] == 2
+
+    def test_reservoir_merges_count_only(self):
+        worker = MetricsRegistry()
+        worker.reservoir("lat").observe(5.0)
+        parent = MetricsRegistry()
+        parent.reservoir("lat").observe(1.0)
+        parent.merge_snapshot(worker.snapshot())
+        res = parent.reservoir("lat")
+        assert res.count == 2
+        assert res.samples == [1.0]  # worker samples are not adopted
+
+    def test_merge_is_order_independent(self):
+        snaps = []
+        for base in (1, 100):
+            reg = MetricsRegistry()
+            reg.counter("c").value = base
+            reg.int_histogram("h").observe(base % 5)
+            snaps.append(reg.snapshot())
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for s in snaps:
+            a.merge_snapshot(s)
+        for s in reversed(snaps):
+            b.merge_snapshot(s)
+        assert a.snapshot() == b.snapshot()
+
+    def test_unmergeable_entry_rejected(self):
+        parent = MetricsRegistry()
+        with pytest.raises(ValueError):
+            parent.merge_snapshot({"weird": {"foo": 1}})
+        with pytest.raises(ValueError):
+            parent.merge_snapshot({"flag": True})

@@ -165,3 +165,78 @@ class TestLatencySensitivity:
             CFG.with_design(L2DesignConfig(kind="z", ways=4, levels=3))
         )
         assert z52.l2_bank_latency == r4.l2_bank_latency
+
+
+class TestResultSerialization:
+    def test_to_dict_round_trips(self):
+        res = small_sim().run()
+        clone = type(res).from_dict(res.to_dict())
+        assert clone == res
+
+    def test_from_captured_replays_identically(self):
+        from repro.sim.cmp import TraceDrivenRunner as TDR
+
+        runner = TDR(CFG, get_workload("gcc"), instructions_per_core=INSTR, seed=3)
+        captured = runner.capture()
+        rehosted = TDR.from_captured(CFG, captured, seed=3)
+        assert rehosted.replay(CFG) == runner.replay(CFG)
+
+
+class TestMemoryQueueingParity:
+    """Execution mode must stamp memory-channel demands at the same
+    (post-latency) time replay does.
+
+    The pre-fix bug — ``channel.demand(addr, cycles[core])`` with the
+    pre-stall timestamp — cancels out under a uniform per-miss latency
+    (the clock just runs a constant amount ahead), so the probe uses
+    NUCA hop latencies to make the per-miss shift *vary* by bank, which
+    makes the two timestamp conventions produce different queueing
+    delays and different final cycle counts.
+    """
+
+    def make_probe(self):
+        from dataclasses import replace
+
+        from repro.workloads.spec import WorkloadSpec
+
+        spec = WorkloadSpec(
+            name="parity-probe", suite="mix", multithreaded=False,
+            mem_ratio=0.8, write_frac=0.3,
+            patterns=(((1.0, {"kind": "uniform", "footprint_abs": 48}),)),
+        )
+        # SA-32 so the private 48-line footprints never evict (no
+        # inclusion feedback, the one modelled divergence between
+        # modes); 8 B/cycle memory so the channel genuinely queues;
+        # NUCA hops so per-miss latency varies by bank.
+        cfg = replace(
+            CMPConfig().with_design(
+                L2DesignConfig(kind="sa", ways=32, hash_kind="h3")
+            ),
+            mem_bytes_per_cycle=8.0,
+            nuca_hop_cycles=2.0,
+        )
+        return cfg, spec
+
+    def test_execution_and_replay_agree_cycle_for_cycle(self):
+        cfg, spec = self.make_probe()
+        full = CMPSimulator(cfg, spec, instructions_per_core=2000, seed=7).run()
+        rep = TraceDrivenRunner(
+            cfg, spec, instructions_per_core=2000, seed=7
+        ).replay(cfg)
+        assert full.l2_misses == rep.l2_misses
+        assert full.cycles == rep.cycles
+
+    def test_contention_actually_exercised(self):
+        # Guard against the probe silently losing its memory-channel
+        # pressure: with queueing disabled the run must get faster.
+        from dataclasses import replace
+
+        cfg, spec = self.make_probe()
+        contended = CMPSimulator(
+            cfg, spec, instructions_per_core=2000, seed=7
+        ).run()
+        uncontended = CMPSimulator(
+            replace(cfg, mem_bytes_per_cycle=1e9), spec,
+            instructions_per_core=2000, seed=7,
+        ).run()
+        assert max(contended.cycles) > max(uncontended.cycles)

@@ -114,3 +114,20 @@ class TestAggregates:
         ws = z.walk_stats()
         assert ws is not None
         assert ws.walks == 2000
+
+
+class TestBankIndex:
+    def test_shared_mapping_function(self):
+        from repro.sim.l2 import bank_index
+
+        l2 = BankedL2(small_cfg())
+        for addr in (0, 1, 7, 8, 1023, 65537):
+            assert l2.bank_for(addr) == bank_index(addr, 8)
+
+    def test_captured_trace_uses_same_mapping(self):
+        # The bug this guards against: CapturedTrace re-implementing the
+        # interleaving locally and drifting from BankedL2's.
+        import repro.sim.cmp as cmp_mod
+        import repro.sim.l2 as l2_mod
+
+        assert cmp_mod.bank_index is l2_mod.bank_index

@@ -121,3 +121,25 @@ class TestStatistics:
     def test_ks_distance_detects_mismatch(self):
         xs = [0.9] * 100
         assert ks_distance(xs, lambda x: x) > 0.8
+
+
+class TestBloomBitRounding:
+    def test_num_bits_rounds_up_to_word_multiple(self):
+        assert BloomFilter(100).num_bits == 128
+        assert BloomFilter(1).num_bits == 64
+        assert BloomFilter(65).num_bits == 128
+
+    def test_exact_multiple_unchanged(self):
+        assert BloomFilter(64).num_bits == 64
+        assert BloomFilter(2048).num_bits == 2048
+
+    def test_hash_hint_uses_rounded_size(self):
+        # 100 -> 128 bits; k = round(ln2 * 128/16) = 6, not round(ln2*100/16)=4
+        bf = BloomFilter(num_bits=100, expected_items=16)
+        assert bf.num_hashes == round(math.log(2) * 128 / 16)
+
+    def test_rounded_filter_still_correct(self):
+        bf = BloomFilter(100, num_hashes=3)
+        for k in range(50):
+            bf.add(k)
+        assert all(k in bf for k in range(50))

@@ -58,3 +58,45 @@ class TestValidation:
     def test_save_rejects_invalid_records(self, tmp_path):
         with pytest.raises(ValueError):
             save_trace(tmp_path / "x.txt", [CoreAccess(-1, 0, False)])
+
+
+class TestCommentHeaders:
+    def test_multiline_comment_round_trips(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        accesses = sample_accesses(20)
+        save_trace(path, accesses, comment="gcc core 0\nseed=1")
+        text = path.read_text(encoding="ascii")
+        assert "# gcc core 0" in text and "# seed=1" in text
+        assert list(load_trace(path)) == accesses
+
+    def test_gzip_with_comment_round_trips(self, tmp_path):
+        path = tmp_path / "trace.txt.gz"
+        accesses = sample_accesses(20)
+        save_trace(path, accesses, comment="compressed header")
+        assert list(load_trace(path)) == accesses
+
+    def test_version_header_always_written(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace(path, [])
+        assert path.read_text(encoding="ascii").startswith("# repro-trace v1\n")
+
+
+class TestErrorPositions:
+    def test_position_counts_comments_and_blanks(self):
+        lines = ["# header", "", "3 1f r", "bogus"]
+        with pytest.raises(ValueError, match="line 4"):
+            list(parse_trace(lines))
+
+    def test_error_reports_offending_text(self):
+        with pytest.raises(ValueError, match="bogus line"):
+            list(parse_trace(["bogus line"]))
+
+    def test_load_trace_reports_file_position(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        accesses = sample_accesses(3)
+        save_trace(path, accesses, comment="hdr")
+        with open(path, "a", encoding="ascii") as f:
+            f.write("not a record\n")
+        # 1 version line + 1 comment + 3 records -> failure is line 6
+        with pytest.raises(ValueError, match="line 6"):
+            list(load_trace(path))
