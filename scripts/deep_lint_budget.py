@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""CI guard: ``lint --deep`` stays clean, fast, and incremental.
+
+Three claims are pinned on every push:
+
+1. **Zero findings** — ``src/repro`` is deep-clean under ZS101-ZS104
+   (the enforcement half of the ZProve deal, same as the per-file
+   self-lint).
+2. **Cold budget** — a from-scratch whole-program run fits inside a
+   wall-time budget, normalized by the same pure-Python calibration
+   loop ``scripts/obs_guard.py`` uses, so the bar is meaningful on
+   slow shared runners.
+3. **Warm budget** — a second run against the cache it just wrote
+   analyzes *zero* modules (every fingerprint hits) and runs faster
+   than the cold one. This is the incrementality contract: if a
+   refactor accidentally invalidates the cache on unchanged trees, CI
+   fails here rather than just getting slower.
+
+Usage::
+
+    python scripts/deep_lint_budget.py            # check all three
+    python scripts/deep_lint_budget.py --target src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: budgets as multiples of the calibration-loop time (see below); the
+#: measured local ratios are ~0.4 cold / ~0.2 warm, so these hold
+#: >20x slack for shared CI runners while still catching a
+#: quadratic blowup or a cache that stops hitting.
+COLD_BUDGET_RATIO = 10.0
+WARM_BUDGET_RATIO = 6.0
+CALIBRATION_ITERATIONS = 400_000
+
+
+def calibration(iterations: int = CALIBRATION_ITERATIONS) -> float:
+    """Seconds for a pure-Python dict/list churn reference loop."""
+    t0 = time.perf_counter()
+    d: dict[int, int] = {}
+    lst = [0] * 64
+    for i in range(iterations):
+        k = (i * 2654435761) & 0xFFFF
+        d[k] = i
+        if len(d) > 4096:
+            d.pop(next(iter(d)))
+        lst[i & 63] += 1
+    return time.perf_counter() - t0
+
+
+def timed_deep_run(target: Path, cache_path: Path):
+    """One ``run_deep`` over ``target``; returns (seconds, report, stats)."""
+    from repro.analysis.semantic import run_deep
+
+    t0 = time.perf_counter()
+    report, stats = run_deep([target], cache_path=cache_path)
+    return time.perf_counter() - t0, report, stats
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--target", type=Path, default=REPO_ROOT / "src" / "repro",
+        help="tree to analyze (default: src/repro)",
+    )
+    args = parser.parse_args()
+
+    cal = calibration()
+    print(f"deep-lint-budget: calibration {cal:.3f}s")
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_path = Path(tmp) / "zsan-cache.json"
+
+        cold_s, report, cold = timed_deep_run(args.target, cache_path)
+        cold_ratio = cold_s / cal
+        print(
+            f"deep-lint-budget: cold {cold_s:.3f}s "
+            f"(ratio {cold_ratio:.2f}, budget {COLD_BUDGET_RATIO}) — "
+            f"{cold.render()}"
+        )
+        if report.findings:
+            rendered = "\n".join(f.render() for f in report.findings)
+            failures.append(
+                f"{args.target} has deep findings:\n{rendered}"
+            )
+        if cold.modules_analyzed != cold.modules_total:
+            failures.append(
+                "cold run was not cold: "
+                f"{cold.modules_analyzed}/{cold.modules_total} analyzed"
+            )
+        if cold_ratio > COLD_BUDGET_RATIO:
+            failures.append(
+                f"cold run over budget: ratio {cold_ratio:.2f} > "
+                f"{COLD_BUDGET_RATIO}"
+            )
+
+        warm_s, report, warm = timed_deep_run(args.target, cache_path)
+        warm_ratio = warm_s / cal
+        print(
+            f"deep-lint-budget: warm {warm_s:.3f}s "
+            f"(ratio {warm_ratio:.2f}, budget {WARM_BUDGET_RATIO}) — "
+            f"{warm.render()}"
+        )
+        if report.findings:
+            failures.append("warm run changed the result (cache unsound)")
+        if warm.modules_analyzed != 0:
+            failures.append(
+                "warm run re-analyzed "
+                f"{warm.modules_analyzed} module(s); expected 0 "
+                "(cache not incremental)"
+            )
+        if warm.cache_hits != warm.modules_total:
+            failures.append(
+                f"warm run hit {warm.cache_hits}/{warm.modules_total} "
+                "modules from cache"
+            )
+        if warm_ratio > WARM_BUDGET_RATIO:
+            failures.append(
+                f"warm run over budget: ratio {warm_ratio:.2f} > "
+                f"{WARM_BUDGET_RATIO}"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"deep-lint-budget: FAIL: {failure}")
+        return 1
+    print("deep-lint-budget: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,16 +13,52 @@ import sys
 import time
 from pathlib import Path
 
-from repro.analysis.lint import LintEngine, default_rules
+from repro.analysis.lint import (
+    RULE_REGISTRY,
+    LintEngine,
+    LintReport,
+    default_rules,
+    fix_paths,
+)
 from repro.analysis.sanitizer import InvariantViolation, SanitizedArray
 
 
+def _split_codes(
+    raw: str | None, deep_codes: set[str]
+) -> tuple[list[str] | None, list[str] | None, list[str]]:
+    """Split a ``--select``/``--ignore`` list into shallow/deep/unknown."""
+    if raw is None:
+        return None, None, []
+    shallow: list[str] = []
+    deep: list[str] = []
+    unknown: list[str] = []
+    for code in (c.strip().upper() for c in raw.split(",") if c.strip()):
+        if code in RULE_REGISTRY:
+            shallow.append(code)
+        elif code in deep_codes:
+            deep.append(code)
+        else:
+            unknown.append(code)
+    return shallow, deep, unknown
+
+
 def run_lint(argv: list[str]) -> int:
-    """``zcache-repro lint [paths...]`` — run ZSan; exit 1 on findings."""
+    """``zcache-repro lint [paths...]`` — run ZSan; exit 1 on findings.
+
+    ``--deep`` adds the ZProve whole-program rules (ZS101–ZS104) on
+    top of the per-file rules; selecting a deep code enables the deep
+    pass implicitly. ``--fix`` applies the mechanical repairs first
+    (ZS004 ``slots=True`` insertion, ZS001 ``from random import``
+    rewrite) and then reports what remains.
+    """
+    from repro.analysis.semantic import default_deep_rules, run_deep
+
     parser = argparse.ArgumentParser(
         prog="zcache-repro lint",
-        description="Run the ZSan AST lint rules (ZS001-ZS006) over "
-        "Python sources. Exits non-zero when any finding is reported.",
+        description="Run the ZSan AST lint rules (ZS001-ZS006) and, "
+        "with --deep, the ZProve whole-program rules (ZS101-ZS104) "
+        "over Python sources. Exits non-zero when any finding is "
+        "reported.",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src/repro"],
@@ -42,29 +78,96 @@ def run_lint(argv: list[str]) -> int:
     )
     parser.add_argument(
         "--rules", action="store_true",
-        help="list the registered rules and exit",
+        help="list the registered rules (per-file and deep) and exit",
+    )
+    parser.add_argument(
+        "--deep", action="store_true",
+        help="also run the whole-program semantic rules (ZS101-ZS104)",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply automatic fixes (ZS004 slots, ZS001 import rewrite) "
+        "before linting",
+    )
+    parser.add_argument(
+        "--cache", type=str, default=".zsan-cache.json", metavar="PATH",
+        help="incremental deep-analysis cache file "
+        "(default: .zsan-cache.json)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the deep-analysis cache for this run",
     )
     args = parser.parse_args(argv)
+
+    deep_rules = default_deep_rules()
+    deep_codes = {r.code for r in deep_rules}
 
     if args.rules:
         for rule in default_rules():
             print(f"{rule.code}  {rule.name}: {rule.summary}")
+        for deep_rule in deep_rules:
+            print(
+                f"{deep_rule.code}  {deep_rule.name} [deep]: "
+                f"{deep_rule.summary}"
+            )
         return 0
 
-    try:
-        engine = LintEngine(
-            select=args.select.split(",") if args.select else None,
-            ignore=args.ignore.split(",") if args.ignore else None,
-        )
-    except ValueError as exc:
-        print(f"zsan: error: {exc}", file=sys.stderr)
+    select_shallow, select_deep, unknown = _split_codes(
+        args.select, deep_codes
+    )
+    ignore_shallow, ignore_deep, unknown_ignored = _split_codes(
+        args.ignore, deep_codes
+    )
+    if unknown or unknown_ignored:
+        bad = sorted(set(unknown) | set(unknown_ignored))
+        print(f"zsan: error: unknown rule code(s): {bad}", file=sys.stderr)
         return 2
+
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
         for p in missing:
             print(f"zsan: error: no such file or directory: {p}", file=sys.stderr)
         return 2
-    report = engine.lint_paths(args.paths)
+
+    if args.fix:
+        for result in fix_paths(args.paths):
+            codes = ",".join(sorted(result.codes))
+            print(
+                f"zsan: fixed {result.fixes} issue(s) [{codes}] in "
+                f"{result.path}",
+                file=sys.stderr,
+            )
+
+    # --deep runs the whole-program pass (unless --select names only
+    # per-file codes); naming a deep code in --select implies --deep.
+    run_deep_pass = bool(select_deep) or (
+        args.deep and (args.select is None or bool(select_deep))
+    )
+    findings = []
+    files_checked = 0
+    if select_shallow is None or select_shallow or not run_deep_pass:
+        engine = LintEngine(select=select_shallow, ignore=ignore_shallow)
+        shallow_report = engine.lint_paths(args.paths)
+        findings.extend(shallow_report.findings)
+        files_checked = shallow_report.files_checked
+
+    if run_deep_pass:
+        deep_report, stats = run_deep(
+            args.paths,
+            select=select_deep or None,
+            ignore=ignore_deep or None,
+            cache_path=None if args.no_cache else args.cache,
+        )
+        print(stats.render(), file=sys.stderr)
+        seen = {(f.code, f.path, f.line, f.column, f.message) for f in findings}
+        for f in deep_report.findings:
+            if (f.code, f.path, f.line, f.column, f.message) not in seen:
+                findings.append(f)
+        files_checked = max(files_checked, deep_report.files_checked)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
+    report = LintReport(findings=findings, files_checked=files_checked)
     if args.format == "json":
         print(report.render_json())
     else:

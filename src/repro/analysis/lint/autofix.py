@@ -1,0 +1,196 @@
+"""Mechanical fixes for a safe subset of ZSan findings (``lint --fix``).
+
+Two rules have fixes that are provably behavior-preserving at the
+source level and are therefore automated:
+
+- **ZS004** — insert ``slots=True`` into a ``@dataclass`` decoration
+  that lacks it (``@dataclass`` -> ``@dataclass(slots=True)``,
+  ``@dataclass(frozen=True)`` -> ``@dataclass(frozen=True,
+  slots=True)``);
+- **ZS001** (import form) — rewrite ``from random import <global RNG
+  helpers>`` to ``from random import Random``, keeping any already-safe
+  names. Call sites of the removed helpers then surface as ordinary
+  ZS001 findings to be reseeded by hand — the fixer never guesses what
+  seed a call should use.
+
+Fixes are computed from the AST but applied as minimal text edits, so
+untouched formatting and comments survive byte-for-byte. Findings
+suppressed with ``# zsan: ignore[...]`` are honoured: a suppressed
+site is left alone. Fixing is idempotent — a second pass finds
+nothing to change.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Set, Tuple, Union
+
+from repro.analysis.lint.engine import LintSource
+from repro.analysis.lint.rules import DataclassSlots, UnseededRandomness
+
+#: codes ``--fix`` knows how to repair
+FIXABLE_CODES = frozenset({"ZS001", "ZS004"})
+
+
+@dataclass(slots=True)
+class FixResult:
+    """Outcome of fixing one file."""
+
+    path: str
+    fixes: int = 0
+    codes: Set[str] = field(default_factory=set)
+    new_text: Optional[str] = None  #: None when nothing changed
+
+    @property
+    def changed(self) -> bool:
+        return self.new_text is not None
+
+
+#: one text edit: absolute (start, end) offsets and the replacement
+_Edit = Tuple[int, int, str, str]
+
+
+def _offset(text: str, line: int, col: int) -> int:
+    """Absolute offset of 1-based ``line`` / 0-based ``col``."""
+    pos = 0
+    for _ in range(line - 1):
+        pos = text.index("\n", pos) + 1
+    return pos + col
+
+
+def _dataclass_edits(src: LintSource) -> List[_Edit]:
+    """``slots=True`` insertions for ZS004 sites (minus suppressed)."""
+    edits: List[_Edit] = []
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if src.suppressed("ZS004", node.lineno):
+            continue
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            parts: List[str] = []
+            t: ast.AST = target
+            while isinstance(t, ast.Attribute):
+                parts.append(t.attr)
+                t = t.value
+            if isinstance(t, ast.Name):
+                parts.append(t.id)
+            name = ".".join(reversed(parts))
+            if not name or name.split(".")[-1] != "dataclass":
+                continue
+            if isinstance(dec, ast.Call):
+                if any(
+                    kw.arg == "slots"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in dec.keywords
+                ):
+                    continue
+                close = _offset(
+                    src.text, dec.end_lineno or dec.lineno,
+                    (dec.end_col_offset or 1) - 1,
+                )
+                before = src.text[:close].rstrip()
+                if before.endswith(("(", ",")):
+                    insert = "slots=True"
+                else:
+                    insert = ", slots=True"
+                edits.append((close, close, insert, "ZS004"))
+            else:
+                end = _offset(
+                    src.text, dec.end_lineno or dec.lineno,
+                    dec.end_col_offset or 0,
+                )
+                edits.append((end, end, "(slots=True)", "ZS004"))
+    return edits
+
+
+def _random_import_edits(src: LintSource) -> List[_Edit]:
+    """Rewrites of unsafe ``from random import ...`` statements."""
+    safe = UnseededRandomness._SAFE_FROM_RANDOM
+    edits: List[_Edit] = []
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        if node.module != "random" or node.level != 0:
+            continue
+        if src.suppressed("ZS001", node.lineno):
+            continue
+        unsafe = [a for a in node.names if a.name not in safe]
+        if not unsafe:
+            continue
+        kept: List[str] = []
+        names_present: Set[str] = set()
+        for alias in node.names:
+            if alias.name in safe:
+                rendered = (
+                    f"{alias.name} as {alias.asname}"
+                    if alias.asname
+                    else alias.name
+                )
+                kept.append(rendered)
+                names_present.add(alias.name)
+        if "Random" not in names_present:
+            kept.insert(0, "Random")
+        start = _offset(src.text, node.lineno, node.col_offset)
+        end = _offset(
+            src.text, node.end_lineno or node.lineno,
+            node.end_col_offset or 0,
+        )
+        edits.append(
+            (start, end, f"from random import {', '.join(kept)}", "ZS001")
+        )
+    return edits
+
+
+def fix_text(
+    text: str, path: Union[str, Path] = "<string>"
+) -> Tuple[str, FixResult]:
+    """Apply every automatic fix to ``text``; returns (new text, result).
+
+    Unparsable sources are returned untouched — ``--fix`` never edits
+    a file it cannot read structurally.
+    """
+    result = FixResult(path=str(path))
+    try:
+        src = LintSource(path, text)
+    except SyntaxError:
+        return text, result
+    edits: List[_Edit] = []
+    p = Path(path)
+    if DataclassSlots.applies_to(p):
+        edits.extend(_dataclass_edits(src))
+    edits.extend(_random_import_edits(src))
+    if not edits:
+        return text, result
+    new_text = text
+    for start, end, replacement, code in sorted(edits, reverse=True):
+        new_text = new_text[:start] + replacement + new_text[end:]
+        result.fixes += 1
+        result.codes.add(code)
+    result.new_text = new_text
+    return new_text, result
+
+
+def fix_paths(paths: Iterable[Union[str, Path]]) -> List[FixResult]:
+    """Fix every ``*.py`` under ``paths`` in place; report per file.
+
+    Only files that actually change are rewritten (and reported).
+    """
+    files: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    results: List[FixResult] = []
+    for f in files:
+        original = f.read_text(encoding="utf-8")
+        new_text, result = fix_text(original, f)
+        if result.changed and new_text != original:
+            f.write_text(new_text, encoding="utf-8")
+            results.append(result)
+    return results

@@ -72,6 +72,45 @@ class Finding:
         }
 
 
+def _statement_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """Line span ``(start, end)`` of every statement in ``tree``.
+
+    Simple statements span every physical line they occupy (including
+    backslash continuations and multi-line call expressions, via
+    ``end_lineno``). Compound statements (``if``/``for``/``def``/...)
+    contribute only their *header* — from the keyword (or the first
+    decorator) to the line before their first body statement — so a
+    suppression inside a function body never silences findings on other
+    statements of that function.
+    """
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            for dec in getattr(node, "decorator_list", None) or []:
+                start = min(start, dec.lineno)
+            end = max(node.lineno, body[0].lineno - 1)
+        else:
+            end = node.end_lineno or node.lineno
+        spans.append((start, end))
+    return spans
+
+
+def _line_span_index(tree: ast.Module) -> dict[int, tuple[int, int]]:
+    """Map each source line to the innermost statement span covering it."""
+    index: dict[int, tuple[int, int]] = {}
+    # Wider spans first, so nested (narrower) spans overwrite them.
+    for start, end in sorted(
+        _statement_spans(tree), key=lambda s: s[0] - s[1]
+    ):
+        for line in range(start, end + 1):
+            index[line] = (start, end)
+    return index
+
+
 def _collect_suppressions(text: str) -> dict[int, frozenset[str]]:
     """Map line number -> set of suppressed codes (``ALL_CODES`` = all).
 
@@ -114,6 +153,7 @@ class LintSource:
         self.text = text
         self.tree: ast.Module = ast.parse(text, filename=str(path))
         self._suppressions = _collect_suppressions(text)
+        self._line_spans = _line_span_index(self.tree)
 
     @classmethod
     def from_file(cls, path: Union[str, Path]) -> "LintSource":
@@ -121,12 +161,24 @@ class LintSource:
         p = Path(path)
         return cls(p, p.read_text(encoding="utf-8"))
 
+    def statement_span(self, line: int) -> tuple[int, int]:
+        """Full line span of the innermost statement covering ``line``."""
+        return self._line_spans.get(line, (line, line))
+
     def suppressed(self, code: str, line: int) -> bool:
-        """True if ``code`` is suppressed on ``line`` by a zsan comment."""
-        codes = self._suppressions.get(line)
-        if codes is None:
-            return False
-        return codes is ALL_CODES or code in codes
+        """True if ``code`` is suppressed on ``line`` by a zsan comment.
+
+        The lookup covers the whole physical span of the statement the
+        finding is anchored in, so a ``# zsan: ignore[...]`` works on
+        backslash-continued lines and anywhere inside a multi-line call
+        expression — not only on the exact flagged line.
+        """
+        start, end = self.statement_span(line)
+        for lineno in range(start, end + 1):
+            codes = self._suppressions.get(lineno)
+            if codes is not None and (codes is ALL_CODES or code in codes):
+                return True
+        return False
 
 
 class LintRule(abc.ABC):

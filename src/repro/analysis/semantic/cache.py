@@ -1,0 +1,124 @@
+"""Incremental analysis cache for the deep lint pass.
+
+Whole-program analysis is the expensive half of ``lint --deep``, and CI
+runs it on every push. The cache keys each module's findings by its
+*closure fingerprint* — a hash over the content of the module plus
+everything it transitively imports (:meth:`ModuleGraph.fingerprint`) —
+so a warm run re-analyzes only changed modules **and their
+dependents**, which is exactly the soundness condition for
+interprocedural rules: a finding can depend on any module in the
+import closure, and on nothing else.
+
+Stored findings are post-suppression but pre-``--select`` (suppression
+comments live in the hashed source text; select/ignore are run-time
+choices applied after retrieval), so one cache serves any rule
+selection.
+
+The on-disk format is a small JSON document. Loading is tolerant: a
+missing, corrupt, or version-mismatched file simply behaves as an
+empty cache — the cache can never make the lint result wrong, only
+slower or faster.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.analysis.lint.engine import Finding
+
+#: bump when the deep-rule set or finding semantics change
+CACHE_VERSION = 2
+
+
+class AnalysisCache:
+    """Fingerprint-keyed store of per-module deep findings."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._loaded_entries = 0
+
+    # -- persistence -------------------------------------------------------
+    def load(self) -> None:
+        """Read the cache file; any problem yields an empty cache."""
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("version") != CACHE_VERSION:
+            return
+        entries = payload.get("entries")
+        if not isinstance(entries, dict):
+            return
+        for module, entry in entries.items():
+            if (
+                isinstance(entry, dict)
+                and isinstance(entry.get("fingerprint"), str)
+                and isinstance(entry.get("findings"), list)
+            ):
+                self._entries[module] = entry
+        self._loaded_entries = len(self._entries)
+
+    def save(self) -> None:
+        """Write the cache file (parents created as needed)."""
+        payload = {
+            "version": CACHE_VERSION,
+            "entries": {
+                module: self._entries[module]
+                for module in sorted(self._entries)
+            },
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(payload, indent=1) + "\n", encoding="utf-8"
+        )
+
+    # -- lookups -----------------------------------------------------------
+    def get(self, module: str, fingerprint: str) -> Optional[List[Finding]]:
+        """Cached findings for ``module``, or None on miss/stale entry."""
+        entry = self._entries.get(module)
+        if entry is None or entry.get("fingerprint") != fingerprint:
+            self.misses += 1
+            return None
+        findings: List[Finding] = []
+        for raw in entry["findings"]:
+            try:
+                findings.append(
+                    Finding(
+                        code=str(raw["code"]),
+                        message=str(raw["message"]),
+                        path=str(raw["path"]),
+                        line=int(raw["line"]),
+                        column=int(raw.get("column", 0)),
+                    )
+                )
+            except (KeyError, TypeError, ValueError):
+                self.misses += 1
+                return None  # malformed entry: treat as a miss
+        self.hits += 1
+        return findings
+
+    def put(
+        self, module: str, fingerprint: str, findings: List[Finding]
+    ) -> None:
+        """Record ``module``'s findings under its closure fingerprint."""
+        self._entries[module] = {
+            "fingerprint": fingerprint,
+            "findings": [f.to_dict() for f in findings],
+        }
+
+    def prune(self, keep_modules: List[str]) -> None:
+        """Drop entries for modules no longer in the analyzed set."""
+        keep = set(keep_modules)
+        for module in list(self._entries):
+            if module not in keep:
+                del self._entries[module]
+
+    def __len__(self) -> int:
+        return len(self._entries)

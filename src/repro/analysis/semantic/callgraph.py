@@ -1,0 +1,126 @@
+"""Call graph over the analyzed tree, built from resolved call sites.
+
+Edges connect function *definitions* — ``(module, qualname)`` pairs —
+wherever a call expression resolves statically to a function defined
+inside the analyzed tree. Resolution is name-based and conservative:
+
+- ``helper(...)`` resolves through the module's own definitions, then
+  its import table (re-export chains are chased, so ``from repro.obs
+  import ObsContext`` reaches the defining module);
+- ``mod.helper(...)`` / ``mod.Class(...)`` resolve through module
+  aliases, including ``from x import f as g`` aliasing;
+- ``self.method(...)`` / ``cls.method(...)`` resolve within the
+  enclosing class; bare ``cls(...)`` resolves to ``__init__``;
+- ``Class.method(...)`` resolves when ``Class`` names an analyzed
+  class; constructing ``Class(...)`` resolves to its ``__init__``.
+
+Method calls on arbitrary *values* (``obj.run()``) are not resolved —
+the model has no type inference — so the graph under-approximates
+dynamic dispatch. For the deep rules that consume it (ZS102 worker
+reachability) an under-approximation flags only real code, which is
+the right bias for a lint gate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.semantic.symbols import FunctionInfo, dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.semantic.model import SemanticModel
+
+#: a function definition key: (module name, qualified name)
+FuncKey = Tuple[str, str]
+
+
+def func_key(info: FunctionInfo) -> FuncKey:
+    """The graph key for a function definition."""
+    return (info.module, info.qualname)
+
+
+class CallGraph:
+    """Static call edges between analyzed function definitions."""
+
+    def __init__(self) -> None:
+        self.edges: Dict[FuncKey, Set[FuncKey]] = {}
+        self.functions: Dict[FuncKey, FunctionInfo] = {}
+
+    @classmethod
+    def build(cls, model: "SemanticModel") -> "CallGraph":
+        """Resolve every call site in every analyzed function."""
+        graph = cls()
+        for module in sorted(model.graph.modules):
+            symbols = model.symbols_of(module)
+            if symbols is None:
+                continue
+            for info in symbols.all_functions():
+                key = func_key(info)
+                graph.functions[key] = info
+                graph.edges.setdefault(key, set())
+                for call in _calls_in(info.node):
+                    target = resolve_call(model, module, call, info)
+                    if target is not None:
+                        graph.edges[key].add(func_key(target))
+        return graph
+
+    def callees(self, key: FuncKey) -> Set[FuncKey]:
+        """Direct callees of one function."""
+        return self.edges.get(key, set())
+
+    def reachable(self, roots: Iterable[FuncKey]) -> Set[FuncKey]:
+        """Every function reachable from ``roots`` (roots included)."""
+        seen: Set[FuncKey] = set()
+        stack: List[FuncKey] = [r for r in roots if r in self.functions]
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.extend(self.edges.get(key, ()))
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+
+def _calls_in(node: ast.AST) -> List[ast.Call]:
+    """All Call expressions in a function body (nested defs included)."""
+    return [n for n in ast.walk(node) if isinstance(n, ast.Call)]
+
+
+def resolve_call(
+    model: "SemanticModel",
+    module: str,
+    call: ast.Call,
+    enclosing: Optional[FunctionInfo] = None,
+) -> Optional[FunctionInfo]:
+    """Resolve one call expression to an analyzed function, or None."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if (
+            func.id == "cls"
+            and enclosing is not None
+            and enclosing.class_name is not None
+        ):
+            return model.resolve_method(
+                module, enclosing.class_name, "__init__"
+            )
+        return model.resolve_callable(module, func.id)
+    if isinstance(func, ast.Attribute):
+        chain = dotted_name(func)
+        if chain is None:
+            return None
+        parts = chain.split(".")
+        if (
+            parts[0] in ("self", "cls")
+            and len(parts) == 2
+            and enclosing is not None
+            and enclosing.class_name is not None
+        ):
+            return model.resolve_method(
+                module, enclosing.class_name, parts[1]
+            )
+        return model.resolve_dotted_callable(module, chain)
+    return None

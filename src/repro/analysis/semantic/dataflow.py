@@ -1,0 +1,580 @@
+"""Intra-procedural def-use chains with interprocedural summaries.
+
+The ZProve dataflow layer answers one kind of question: *where does
+this value come from?* Every expression evaluates to a set of origin
+tokens over a small lattice:
+
+- ``const`` — literals and values derived only from literals;
+- ``param:<name>`` — a function parameter (symbolic, so function
+  return summaries can be re-bound at each call site);
+- ``config`` — an attribute load (``scale.seed``, ``self.seed``,
+  ``cfg.l2_blocks``): named state threaded explicitly;
+- ``seed-derived`` — the result of ``derive_job_seed`` (the sanctioned
+  per-job seed derivation);
+- ``module-mutable`` — a module-level mutable global;
+- ``local-function`` — a lambda or nested ``def`` (unpicklable);
+- ``open-handle`` — the result of builtin ``open()``;
+- ``taint:wall-clock`` / ``taint:object-identity`` /
+  ``taint:salted-hash`` / ``taint:os-entropy`` — nondeterministic
+  sources that must never reach a seed;
+- ``unknown`` — anything the analysis cannot prove.
+
+Statements are interpreted in order (assignments rebind, augmented
+assignments accumulate, loop targets take the iterable's origins), and
+calls to functions inside the analyzed tree substitute the callee's
+*return summary* with the caller's argument origins bound to the
+callee's parameters — provenance flows through helper functions, which
+is what makes the deep rules whole-program rather than per-file.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional, Set, Tuple,
+)
+
+from repro.analysis.semantic.symbols import FunctionInfo, dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.semantic.model import SemanticModel
+
+Origins = FrozenSet[str]
+
+CONST = "const"
+CONFIG = "config"
+SEED_DERIVED = "seed-derived"
+MODULE_MUTABLE = "module-mutable"
+LOCAL_FUNCTION = "local-function"
+OPEN_HANDLE = "open-handle"
+UNKNOWN = "unknown"
+TAINT_WALLCLOCK = "taint:wall-clock"
+TAINT_ID = "taint:object-identity"
+TAINT_HASH = "taint:salted-hash"
+TAINT_ENTROPY = "taint:os-entropy"
+
+CONST_SET: Origins = frozenset({CONST})
+UNKNOWN_SET: Origins = frozenset({UNKNOWN})
+
+PARAM_PREFIX = "param:"
+
+
+def param_token(name: str) -> str:
+    """The symbolic origin token for parameter ``name``."""
+    return PARAM_PREFIX + name
+
+
+def is_param(token: str) -> bool:
+    """True for ``param:<name>`` tokens."""
+    return token.startswith(PARAM_PREFIX)
+
+
+def is_taint(token: str) -> bool:
+    """True for nondeterministic-source tokens."""
+    return token.startswith("taint:")
+
+
+#: host-clock readers in the ``time`` module (mirrors ZS005's list)
+_WALLCLOCK_ATTRS = frozenset(
+    {
+        "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+        "monotonic_ns", "process_time", "process_time_ns",
+    }
+)
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+#: builtins whose result derives entirely from their arguments
+_PASSTHROUGH_BUILTINS = frozenset(
+    {
+        "abs", "int", "float", "round", "min", "max", "sum", "len", "ord",
+        "pow", "divmod", "range", "sorted", "tuple", "list", "str", "repr",
+        "enumerate", "zip", "reversed",
+    }
+)
+#: deterministic mixers the repo treats as seed-preserving
+_PASSTHROUGH_NAMES = frozenset({"crc32", "splitmix64", "adler32"})
+#: RNG constructors: the produced generator carries its seed's origins
+_RNG_CONSTRUCTORS = frozenset({"Random", "SystemRandom", "default_rng",
+                               "Generator", "SeedSequence"})
+
+
+class OriginEvaluator:
+    """Evaluates expression origins against a :class:`SemanticModel`."""
+
+    #: recursion guard for interprocedural summary substitution
+    MAX_DEPTH = 8
+
+    def __init__(self, model: "SemanticModel") -> None:
+        self.model = model
+        self._summaries: Dict[Tuple[str, str], Origins] = {}
+        self._in_progress: Set[Tuple[str, str]] = set()
+
+    # -- summaries ---------------------------------------------------------
+    def summary(self, func: FunctionInfo) -> Origins:
+        """Origins of ``func``'s return value, parameters symbolic."""
+        key = (func.module, func.qualname)
+        cached = self._summaries.get(key)
+        if cached is not None:
+            return cached
+        if key in self._in_progress:
+            return UNKNOWN_SET  # recursion: stay conservative
+        self._in_progress.add(key)
+        try:
+            walker = ScopeWalker(self, func.module, module_scope=False)
+            env = {p: frozenset({param_token(p)}) for p in func.params}
+            walker.run(list(func.node.body), [env])  # type: ignore[attr-defined]
+            if walker.returns:
+                result: Origins = frozenset().union(*walker.returns)
+            else:
+                result = CONST_SET  # implicit `return None`
+        finally:
+            self._in_progress.discard(key)
+        self._summaries[key] = result
+        return result
+
+    # -- expressions -------------------------------------------------------
+    def expr_origins(
+        self, module: str, node: Optional[ast.expr],
+        envs: List[Dict[str, Origins]], depth: int = 0,
+    ) -> Origins:
+        """Origin set of ``node`` evaluated in scope chain ``envs``."""
+        if node is None or depth > self.MAX_DEPTH:
+            return UNKNOWN_SET
+        if isinstance(node, ast.Constant):
+            return CONST_SET
+        if isinstance(node, ast.Name):
+            return self._name_origins(module, node.id, envs)
+        if isinstance(node, ast.Attribute):
+            return frozenset({CONFIG})
+        if isinstance(node, ast.BinOp):
+            return self.expr_origins(
+                module, node.left, envs, depth
+            ) | self.expr_origins(module, node.right, envs, depth)
+        if isinstance(node, ast.UnaryOp):
+            return self.expr_origins(module, node.operand, envs, depth)
+        if isinstance(node, ast.BoolOp):
+            return self._union(module, node.values, envs, depth)
+        if isinstance(node, ast.IfExp):
+            return self.expr_origins(
+                module, node.body, envs, depth
+            ) | self.expr_origins(module, node.orelse, envs, depth)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return self._union(module, node.elts, envs, depth) or CONST_SET
+        if isinstance(node, ast.Dict):
+            vals = [v for v in node.values if v is not None]
+            return self._union(module, vals, envs, depth) or CONST_SET
+        if isinstance(node, ast.Subscript):
+            return self.expr_origins(module, node.value, envs, depth)
+        if isinstance(node, ast.Starred):
+            return self.expr_origins(module, node.value, envs, depth)
+        if isinstance(node, ast.Lambda):
+            return frozenset({LOCAL_FUNCTION})
+        if isinstance(node, ast.Call):
+            return self._call_origins(module, node, envs, depth)
+        if isinstance(node, ast.Compare):
+            return CONST_SET  # a bool: never a meaningful seed source
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            return self._union(
+                module,
+                [
+                    v.value if isinstance(v, ast.FormattedValue) else v
+                    for v in getattr(node, "values", [node])
+                    if isinstance(v, (ast.FormattedValue, ast.Constant))
+                ]
+                or [],
+                envs,
+                depth,
+            ) or CONST_SET
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            comp_env = self._comprehension_env(module, node.generators, envs, depth)
+            return self.expr_origins(module, node.elt, envs + [comp_env], depth)
+        if isinstance(node, ast.DictComp):
+            comp_env = self._comprehension_env(module, node.generators, envs, depth)
+            return self.expr_origins(module, node.value, envs + [comp_env], depth)
+        if isinstance(node, ast.NamedExpr):
+            return self.expr_origins(module, node.value, envs, depth)
+        return UNKNOWN_SET
+
+    def _union(
+        self, module: str, nodes: List[ast.expr],
+        envs: List[Dict[str, Origins]], depth: int,
+    ) -> Origins:
+        out: Origins = frozenset()
+        for n in nodes:
+            out |= self.expr_origins(module, n, envs, depth)
+        return out
+
+    def _comprehension_env(
+        self, module: str, generators: List[ast.comprehension],
+        envs: List[Dict[str, Origins]], depth: int,
+    ) -> Dict[str, Origins]:
+        env: Dict[str, Origins] = {}
+        for gen in generators:
+            iter_origins = self.expr_origins(module, gen.iter, envs + [env], depth)
+            for name in _target_names(gen.target):
+                env[name] = iter_origins
+        return env
+
+    def _name_origins(
+        self, module: str, name: str, envs: List[Dict[str, Origins]]
+    ) -> Origins:
+        for env in reversed(envs):
+            if name in env:
+                return env[name]
+        symbols = self.model.symbols_of(module)
+        if symbols is not None:
+            binding = symbols.bindings.get(name)
+            if binding is not None:
+                if binding.kind == "frozen":
+                    return CONST_SET
+                if binding.kind == "mutable":
+                    return frozenset({MODULE_MUTABLE})
+                return UNKNOWN_SET
+            if name in symbols.functions or name in symbols.classes:
+                return UNKNOWN_SET
+        return UNKNOWN_SET
+
+    # -- calls -------------------------------------------------------------
+    def _call_origins(
+        self, module: str, node: ast.Call,
+        envs: List[Dict[str, Origins]], depth: int,
+    ) -> Origins:
+        arg_exprs: List[ast.expr] = list(node.args) + [
+            kw.value for kw in node.keywords
+        ]
+
+        func = node.func
+        if isinstance(func, ast.Name):
+            return self._named_call_origins(module, func.id, node, envs, depth)
+        if isinstance(func, ast.Attribute):
+            chain = dotted_name(func)
+            if chain is not None:
+                resolved = self._chain_call_origins(
+                    module, chain, node, envs, depth
+                )
+                if resolved is not None:
+                    return resolved
+            # A method call on an evaluable object: the result derives
+            # from the object plus the arguments (rng.randrange(n),
+            # key.encode(), cfg.derived_seed(), ...).
+            return self.expr_origins(
+                module, func.value, envs, depth
+            ) | self._union(module, arg_exprs, envs, depth)
+        return UNKNOWN_SET
+
+    def _named_call_origins(
+        self, module: str, name: str, node: ast.Call,
+        envs: List[Dict[str, Origins]], depth: int,
+    ) -> Origins:
+        arg_exprs: List[ast.expr] = list(node.args) + [
+            kw.value for kw in node.keywords
+        ]
+        for env in reversed(envs):
+            if name in env:  # calling a local value: best effort
+                if env[name] & frozenset({LOCAL_FUNCTION}):
+                    return UNKNOWN_SET
+                return env[name] | self._union(module, arg_exprs, envs, depth)
+        if name == "id":
+            return frozenset({TAINT_ID})
+        if name == "hash":
+            return frozenset({TAINT_HASH})
+        if name == "open":
+            return frozenset({OPEN_HANDLE})
+        if name in _PASSTHROUGH_BUILTINS:
+            return self._union(module, arg_exprs, envs, depth) or CONST_SET
+        if name == "derive_job_seed":
+            return frozenset({SEED_DERIVED})
+        if name in _PASSTHROUGH_NAMES:
+            return self._union(module, arg_exprs, envs, depth) or CONST_SET
+        if name in _RNG_CONSTRUCTORS:
+            return self._union(module, arg_exprs, envs, depth) or CONST_SET
+        target = self.model.resolve_callable(module, name)
+        if target is not None:
+            return self._substitute(module, target, node, envs, depth)
+        return UNKNOWN_SET
+
+    def _chain_call_origins(
+        self, module: str, chain: str, node: ast.Call,
+        envs: List[Dict[str, Origins]], depth: int,
+    ) -> Optional[Origins]:
+        """Origins for an ``a.b.c(...)`` call, or None to fall back."""
+        parts = chain.split(".")
+        root, tail = parts[0], parts[-1]
+        arg_exprs: List[ast.expr] = list(node.args) + [
+            kw.value for kw in node.keywords
+        ]
+        for env in reversed(envs):
+            if root in env:
+                return None  # method call on a local value
+        imported = self.model.graph.imported(module, root)
+        ext = imported.module if imported is not None and not imported.internal \
+            else None
+        if ext == "time" and tail in _WALLCLOCK_ATTRS:
+            return frozenset({TAINT_WALLCLOCK})
+        if (ext == "datetime" or "datetime" in parts[:-1] or
+                parts[-2:-1] == ["date"]) and tail in _DATETIME_ATTRS:
+            return frozenset({TAINT_WALLCLOCK})
+        if ext == "os" and tail == "urandom":
+            return frozenset({TAINT_ENTROPY})
+        if ext in ("uuid", "secrets") or root in ("uuid", "secrets"):
+            return frozenset({TAINT_ENTROPY})
+        if tail in _PASSTHROUGH_NAMES or tail in _RNG_CONSTRUCTORS:
+            return self._union(module, arg_exprs, envs, depth) or CONST_SET
+        if tail == "derive_job_seed":
+            return frozenset({SEED_DERIVED})
+        target = self.model.resolve_dotted_callable(module, chain)
+        if target is not None:
+            return self._substitute(module, target, node, envs, depth)
+        return None
+
+    def _substitute(
+        self, module: str, func: FunctionInfo, node: ast.Call,
+        envs: List[Dict[str, Origins]], depth: int,
+    ) -> Origins:
+        """Bind the call's arguments into ``func``'s return summary."""
+        summary = self.summary(func)
+        bound = self._bind_arguments(module, func, node, envs, depth)
+        out: Set[str] = set()
+        for token in summary:
+            if is_param(token):
+                name = token[len(PARAM_PREFIX):]
+                out |= bound.get(name, UNKNOWN_SET)
+            else:
+                out.add(token)
+        return frozenset(out) or CONST_SET
+
+    def _bind_arguments(
+        self, module: str, func: FunctionInfo, node: ast.Call,
+        envs: List[Dict[str, Origins]], depth: int,
+    ) -> Dict[str, Origins]:
+        bound: Dict[str, Origins] = {}
+        params = [p for p in func.params]
+        # Methods called as Class.method(...) or self.method(...): the
+        # binding of `self`/`cls` is positional-shifted; drop it.
+        if func.class_name is not None and params and params[0] in (
+            "self", "cls"
+        ):
+            params = params[1:]
+        for param, arg in zip(params, node.args):
+            bound[param] = self.expr_origins(module, arg, envs, depth + 1)
+        for kw in node.keywords:
+            if kw.arg is not None and kw.arg in func.params:
+                bound[kw.arg] = self.expr_origins(
+                    module, kw.value, envs, depth + 1
+                )
+        # Parameters left unbound take their declared default's origins
+        # (evaluated in the callee's module, empty scope).
+        for param, default in func.defaults.items():
+            if param not in bound:
+                bound[param] = self.expr_origins(
+                    func.module, default, [{}], depth + 1
+                )
+        return bound
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    """Names bound by an assignment/loop target (nested tuples walked)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: List[str] = []
+        for elt in target.elts:
+            out.extend(_target_names(elt))
+        return out
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []
+
+
+#: callback invoked for every Call expression, with the scope chain
+#: in effect at that point in execution order
+CallVisitor = Callable[[ast.Call, List[Dict[str, Origins]]], None]
+
+
+class ScopeWalker:
+    """Interprets a statement block, tracking name origins in order.
+
+    Drives two consumers: :meth:`OriginEvaluator.summary` (collects
+    ``returns``) and the deep rules (pass ``visit`` to observe every
+    call expression with the environment at that program point —
+    including inside nested functions and lambdas, whose parameters
+    are pushed as an inner scope).
+    """
+
+    def __init__(
+        self,
+        evaluator: OriginEvaluator,
+        module: str,
+        visit: Optional[CallVisitor] = None,
+        module_scope: bool = True,
+    ) -> None:
+        self.evaluator = evaluator
+        self.module = module
+        self.visit = visit
+        #: whether the outermost env passed to :meth:`run` is module
+        #: scope — a ``def`` there is a plain module function, not an
+        #: unpicklable local one
+        self.module_scope = module_scope
+        self.returns: List[Origins] = []
+
+    # -- entry points ------------------------------------------------------
+    def run(
+        self, body: List[ast.stmt], envs: List[Dict[str, Origins]]
+    ) -> None:
+        """Interpret ``body`` (mutating the innermost scope in place)."""
+        for stmt in body:
+            self._stmt(stmt, envs)
+
+    def _bind(
+        self, name: str, origins: Origins, envs: List[Dict[str, Origins]]
+    ) -> None:
+        """Record a name binding in the innermost scope.
+
+        Module-level names are deliberately *not* tracked in the env:
+        they resolve through the symbol table instead, which preserves
+        the mutable/frozen classification (a ``CACHE = {}`` global must
+        stay ``module-mutable``, not the empty dict's ``const``).
+        """
+        if self.module_scope and len(envs) == 1:
+            return
+        envs[-1][name] = origins
+
+    # -- statements --------------------------------------------------------
+    def _stmt(self, stmt: ast.stmt, envs: List[Dict[str, Origins]]) -> None:
+        ev = self.evaluator
+        module = self.module
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for dec in stmt.decorator_list:
+                self._expr(dec, envs)
+            inner = {
+                a.arg: frozenset({param_token(a.arg)})
+                for a in (
+                    *stmt.args.posonlyargs, *stmt.args.args,
+                    *stmt.args.kwonlyargs,
+                )
+            }
+            self.run(list(stmt.body), envs + [inner])
+            if len(envs) > 1 or not self.module_scope:
+                envs[-1][stmt.name] = frozenset({LOCAL_FUNCTION})
+            return
+        if isinstance(stmt, ast.ClassDef):
+            for dec in stmt.decorator_list:
+                self._expr(dec, envs)
+            self.run(list(stmt.body), envs + [{}])
+            self._bind(stmt.name, UNKNOWN_SET, envs)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value, envs)
+                self.returns.append(ev.expr_origins(module, stmt.value, envs))
+            else:
+                self.returns.append(CONST_SET)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._expr(stmt.value, envs)
+            origins = ev.expr_origins(module, stmt.value, envs)
+            for target in stmt.targets:
+                for name in _target_names(target):
+                    self._bind(name, origins, envs)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._expr(stmt.value, envs)
+                origins = ev.expr_origins(module, stmt.value, envs)
+                for name in _target_names(stmt.target):
+                    self._bind(name, origins, envs)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._expr(stmt.value, envs)
+            added = ev.expr_origins(module, stmt.value, envs)
+            for name in _target_names(stmt.target):
+                previous = ev._name_origins(module, name, envs)
+                self._bind(name, previous | added, envs)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr(stmt.iter, envs)
+            iter_origins = ev.expr_origins(module, stmt.iter, envs)
+            for name in _target_names(stmt.target):
+                self._bind(name, iter_origins, envs)
+            self.run(list(stmt.body), envs)
+            self.run(list(stmt.orelse), envs)
+            return
+        if isinstance(stmt, ast.While):
+            self._expr(stmt.test, envs)
+            self.run(list(stmt.body), envs)
+            self.run(list(stmt.orelse), envs)
+            return
+        if isinstance(stmt, ast.If):
+            self._expr(stmt.test, envs)
+            self.run(list(stmt.body), envs)
+            self.run(list(stmt.orelse), envs)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._expr(item.context_expr, envs)
+                if item.optional_vars is not None:
+                    origins = ev.expr_origins(module, item.context_expr, envs)
+                    for name in _target_names(item.optional_vars):
+                        self._bind(name, origins, envs)
+            self.run(list(stmt.body), envs)
+            return
+        if isinstance(stmt, ast.Try):
+            self.run(list(stmt.body), envs)
+            for handler in stmt.handlers:
+                self.run(list(handler.body), envs)
+            self.run(list(stmt.orelse), envs)
+            self.run(list(stmt.finalbody), envs)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._expr(stmt.value, envs)
+            return
+        if isinstance(stmt, (ast.Raise, ast.Assert, ast.Delete)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._expr(child, envs)
+            return
+        # Import/Global/Nonlocal/Pass/Break/Continue: no value flow here.
+
+    # -- expression traversal (for the visit hook) -------------------------
+    def _expr(
+        self, node: ast.expr, envs: List[Dict[str, Origins]]
+    ) -> None:
+        """Visit every Call under ``node`` with the current scope chain."""
+        if self.visit is None:
+            return
+        if isinstance(node, ast.Call):
+            self.visit(node, envs)
+            self._expr(node.func, envs)
+            for arg in node.args:
+                self._expr(arg, envs)
+            for kw in node.keywords:
+                self._expr(kw.value, envs)
+            return
+        if isinstance(node, ast.Lambda):
+            inner = {
+                a.arg: frozenset({param_token(a.arg)})
+                for a in (
+                    *node.args.posonlyargs, *node.args.args,
+                    *node.args.kwonlyargs,
+                )
+            }
+            self._expr(node.body, envs + [inner])
+            return
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            comp_env = self.evaluator._comprehension_env(
+                self.module, node.generators, envs, 0
+            )
+            scoped = envs + [comp_env]
+            for gen in node.generators:
+                self._expr(gen.iter, envs)
+                for cond in gen.ifs:
+                    self._expr(cond, scoped)
+            if isinstance(node, ast.DictComp):
+                self._expr(node.key, scoped)
+                self._expr(node.value, scoped)
+            else:
+                self._expr(node.elt, scoped)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child, envs)

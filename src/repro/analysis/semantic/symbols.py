@@ -1,0 +1,281 @@
+"""Per-module symbol tables for the ZProve semantic model.
+
+The second layer: every module gets a :class:`ModuleSymbols` with its
+top-level functions, classes (methods included), and a classification
+of module-level assignments into *frozen constants* (immutable values a
+worker process can safely re-import) and *mutable globals* (hidden
+cross-run state — the ZS104 target and the thing worker-reachable code
+must never mutate, per ZS102). Extraction is purely syntactic; nothing
+from the analyzed tree is imported or executed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: constructors whose call produces a mutable container
+MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+     "OrderedDict"}
+)
+#: constructors/values that freeze their contents
+FROZEN_CALLS = frozenset({"frozenset", "tuple", "MappingProxyType"})
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Resolve an attribute chain to ``root.attr.attr`` or None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def classify_value(node: Optional[ast.expr]) -> str:
+    """``"mutable"`` / ``"frozen"`` / ``"other"`` for an assigned value."""
+    if node is None:
+        return "other"
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return "mutable"
+    if isinstance(node, ast.Constant):
+        return "frozen"
+    if isinstance(node, ast.Tuple):
+        return "frozen"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        tail = name.split(".")[-1] if name else ""
+        if tail in MUTABLE_CALLS:
+            return "mutable"
+        if tail in FROZEN_CALLS:
+            return "frozen"
+    return "other"
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with everything the dataflow layer needs."""
+
+    module: str
+    qualname: str  #: ``"f"`` for functions, ``"C.m"`` for methods
+    node: ast.AST  #: FunctionDef | AsyncFunctionDef
+    params: Tuple[str, ...]
+    defaults: Dict[str, ast.expr] = field(default_factory=dict)
+    class_name: Optional[str] = None
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+
+def _function_info(
+    module: str,
+    node: ast.AST,
+    class_name: Optional[str] = None,
+) -> FunctionInfo:
+    args = node.args  # type: ignore[attr-defined]
+    params: List[str] = [
+        a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    ]
+    if args.vararg is not None:
+        params.append(args.vararg.arg)
+    if args.kwarg is not None:
+        params.append(args.kwarg.arg)
+    defaults: Dict[str, ast.expr] = {}
+    positional = [*args.posonlyargs, *args.args]
+    for param, default in zip(
+        positional[len(positional) - len(args.defaults):], args.defaults
+    ):
+        defaults[param.arg] = default
+    for param, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+        if kw_default is not None:
+            defaults[param.arg] = kw_default
+    name = node.name  # type: ignore[attr-defined]
+    qualname = f"{class_name}.{name}" if class_name else name
+    return FunctionInfo(
+        module=module,
+        qualname=qualname,
+        node=node,
+        params=tuple(params),
+        defaults=defaults,
+        class_name=class_name,
+    )
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its methods and declared counter fields."""
+
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: Tuple[str, ...]  #: dotted base expressions, as written
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: literal ``_COUNTER_FIELDS`` tuple elements, when declared
+    counter_fields: Optional[Tuple[str, ...]] = None
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    def base_tails(self) -> set[str]:
+        """Last components of the base names (``obs.RegistryStats`` ->
+        ``RegistryStats``), for inheritance checks across import styles."""
+        return {b.split(".")[-1] for b in self.bases}
+
+
+@dataclass
+class ModuleLevelBinding:
+    """One module-level name binding and its mutability classification."""
+
+    name: str
+    lineno: int
+    col: int
+    kind: str  #: "mutable" | "frozen" | "other"
+
+
+@dataclass
+class ModuleSymbols:
+    """Everything defined at the top level of one module."""
+
+    module: str
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    bindings: Dict[str, ModuleLevelBinding] = field(default_factory=dict)
+
+    def lookup_function(self, qualname: str) -> Optional[FunctionInfo]:
+        """Find ``"f"`` or ``"C.m"`` among this module's definitions."""
+        if qualname in self.functions:
+            return self.functions[qualname]
+        if "." in qualname:
+            cls, method = qualname.split(".", 1)
+            info = self.classes.get(cls)
+            if info is not None:
+                return info.methods.get(method)
+        return None
+
+    def all_functions(self) -> List[FunctionInfo]:
+        """Top-level functions plus every method, deterministic order."""
+        out = [self.functions[k] for k in sorted(self.functions)]
+        for cname in sorted(self.classes):
+            cls = self.classes[cname]
+            out.extend(cls.methods[m] for m in sorted(cls.methods))
+        return out
+
+    def mutable_globals(self) -> List[ModuleLevelBinding]:
+        """Module-level names bound to mutable containers (sans __all__)."""
+        return [
+            b
+            for name, b in sorted(self.bindings.items())
+            if b.kind == "mutable" and name != "__all__"
+        ]
+
+
+def _counter_fields(node: ast.ClassDef) -> Optional[Tuple[str, ...]]:
+    for item in node.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(item, ast.Assign) and len(item.targets) == 1:
+            target, value = item.targets[0], item.value
+        elif isinstance(item, ast.AnnAssign):
+            target, value = item.target, item.value
+        if (
+            isinstance(target, ast.Name)
+            and target.id == "_COUNTER_FIELDS"
+            and isinstance(value, (ast.Tuple, ast.List))
+        ):
+            fields: List[str] = []
+            for elt in value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    fields.append(elt.value)
+            return tuple(fields)
+    return None
+
+
+def extract_symbols(module: str, tree: ast.Module) -> ModuleSymbols:
+    """Build the symbol table for one parsed module."""
+    symbols = ModuleSymbols(module=module)
+    for stmt in _toplevel(tree.body):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = _function_info(module, stmt)
+            symbols.functions[info.qualname] = info
+        elif isinstance(stmt, ast.ClassDef):
+            bases = tuple(
+                b for b in (dotted_name(base) for base in stmt.bases) if b
+            )
+            cls = ClassInfo(
+                module=module,
+                name=stmt.name,
+                node=stmt,
+                bases=bases,
+                counter_fields=_counter_fields(stmt),
+            )
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    cls.methods[item.name] = _function_info(
+                        module, item, class_name=stmt.name
+                    )
+            symbols.classes[stmt.name] = cls
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets: List[ast.expr]
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+                value: Optional[ast.expr] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                targets = [stmt.target]
+                value = stmt.value
+            kind = classify_value(value)
+            for target in targets:
+                names = (
+                    [target]
+                    if isinstance(target, ast.Name)
+                    else [
+                        e for e in getattr(target, "elts", [])
+                        if isinstance(e, ast.Name)
+                    ]
+                )
+                for name_node in names:
+                    existing = symbols.bindings.get(name_node.id)
+                    # A rebinding that turns a constant mutable wins.
+                    if existing is None or kind == "mutable":
+                        symbols.bindings[name_node.id] = ModuleLevelBinding(
+                            name=name_node.id,
+                            lineno=stmt.lineno,
+                            col=stmt.col_offset,
+                            kind=kind,
+                        )
+    return symbols
+
+
+def _toplevel(body: List[ast.stmt]) -> List[ast.stmt]:
+    """Module-level statements, looking through top-level ``if``/``try``.
+
+    ``if TYPE_CHECKING:`` blocks are skipped — bindings there never
+    exist at runtime.
+    """
+    out: List[ast.stmt] = []
+    for stmt in body:
+        if isinstance(stmt, ast.If):
+            test = stmt.test
+            name = dotted_name(test)
+            if name and name.split(".")[-1] == "TYPE_CHECKING":
+                continue
+            out.extend(_toplevel(stmt.body))
+            out.extend(_toplevel(stmt.orelse))
+        elif isinstance(stmt, ast.Try):
+            out.extend(_toplevel(stmt.body))
+            for handler in stmt.handlers:
+                out.extend(_toplevel(handler.body))
+            out.extend(_toplevel(stmt.orelse))
+            out.extend(_toplevel(stmt.finalbody))
+        else:
+            out.append(stmt)
+    return out

@@ -7,6 +7,7 @@ Examples::
     zcache-repro fig4 --workloads canneal,cactusADM --instructions 5000
     zcache-repro roster
     zcache-repro lint src/repro
+    zcache-repro lint --deep --fix src/repro
     zcache-repro check --sanitize
     zcache-repro stats fig2 --format json
     zcache-repro trace fig2 --instructions 2000
@@ -68,7 +69,9 @@ def main(argv: list[str] | None = None) -> int:
         description="Reproduce the tables and figures of the zcache paper "
         "(Sanchez & Kozyrakis, MICRO 2010).",
         epilog="Additional subcommands: 'zcache-repro lint [paths...]' "
-        "(ZSan static analysis, rules ZS001-ZS006), 'zcache-repro "
+        "(ZSan static analysis, rules ZS001-ZS006; add --deep for the "
+        "ZProve whole-program rules ZS101-ZS104 and --fix for "
+        "mechanical repairs), 'zcache-repro "
         "check --sanitize' (runtime invariant sanitizer), 'zcache-repro "
         "stats <experiment>' (ZScope metrics snapshot), 'zcache-repro "
         "trace <experiment>' (JSONL event trace + offline summary) and "

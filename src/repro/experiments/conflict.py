@@ -19,17 +19,33 @@ from repro.replacement import LFU, LRU, FIFO
 BLOCKS = 512
 
 
-def _designs():
+def _designs(seed: int = 0):
+    """The design table, hash seeds threaded from a caller seed.
+
+    The defaults reproduce the historical constants (1–4), so existing
+    goldens are bit-identical; a sweep can now re-seed the whole table
+    from config instead of editing literals.
+    """
     return [
         ("SA-4", 4, lambda: SetAssociativeArray(4, BLOCKS // 4)),
         (
             "SA-4h",
             4,
-            lambda: SetAssociativeArray(4, BLOCKS // 4, hash_kind="h3", hash_seed=1),
+            lambda: SetAssociativeArray(
+                4, BLOCKS // 4, hash_kind="h3", hash_seed=seed + 1
+            ),
         ),
-        ("SK-4", 4, lambda: SkewAssociativeArray(4, BLOCKS // 4, hash_seed=2)),
-        ("Z4/16", 16, lambda: ZCacheArray(4, BLOCKS // 4, levels=2, hash_seed=3)),
-        ("Z4/52", 52, lambda: ZCacheArray(4, BLOCKS // 4, levels=3, hash_seed=4)),
+        ("SK-4", 4, lambda: SkewAssociativeArray(4, BLOCKS // 4, hash_seed=seed + 2)),
+        (
+            "Z4/16",
+            16,
+            lambda: ZCacheArray(4, BLOCKS // 4, levels=2, hash_seed=seed + 3),
+        ),
+        (
+            "Z4/52",
+            52,
+            lambda: ZCacheArray(4, BLOCKS // 4, levels=3, hash_seed=seed + 4),
+        ),
     ]
 
 

@@ -1,0 +1,11 @@
+"""ZS104 clean twin: only frozen module-level state."""
+
+from types import MappingProxyType
+
+LIMITS = (1, 2, 3)
+NAMES = frozenset({"a", "b"})
+TABLE = MappingProxyType({"alpha": 1})
+_LEVELS = 4
+BANNER = "zcache"
+
+__all__ = ["LIMITS", "NAMES", "TABLE"]

@@ -1,0 +1,47 @@
+"""ZS101 clean twin: every seed traces to an approved origin."""
+
+import random
+from zlib import crc32
+
+
+def derive_job_seed(base_seed, key):
+    """Stand-in for the sweep engine's sanctioned derivation."""
+    return crc32(key.encode()) ^ base_seed
+
+
+def from_param(seed):
+    return random.Random(seed)
+
+
+def from_config(cfg):
+    return random.Random(cfg.seed)
+
+
+def from_derivation(base_seed, key):
+    return random.Random(derive_job_seed(base_seed, key))
+
+
+def mixed(seed, offset=3):
+    return random.Random(seed + offset)
+
+
+def _shift(s):
+    return (s << 1) | 1
+
+
+def through_helper(seed):
+    # Interprocedural: the helper's summary substitutes the caller's
+    # parameter for its own.
+    return random.Random(_shift(seed))
+
+
+def build(hash_seed):
+    return hash_seed
+
+
+def keyword_from_param(seed):
+    return build(hash_seed=seed + 1)
+
+
+def per_bank(count, seed):
+    return [random.Random(seed + i) for i in range(count)]

@@ -1,0 +1,47 @@
+"""ZS101 fixture: seeds that do not trace to an approved origin.
+
+Every RNG construction below should be flagged by the deep
+seed-provenance rule — constants (directly or through helper
+summaries) and nondeterministic taints — except the explicitly
+suppressed one.
+"""
+
+import random
+import time
+
+
+def constant_seed():
+    return random.Random(42)  # flagged: bare constant
+
+
+def wall_clock_seed():
+    return random.Random(int(time.time()))  # flagged: taint:wall-clock
+
+
+def identity_seed(job):
+    return random.Random(id(job))  # flagged: taint:object-identity
+
+
+def salted_hash_seed(key):
+    return random.Random(hash(key))  # flagged: taint:salted-hash
+
+
+def fixed_base():
+    return 1234
+
+
+def seeded_from_helper_constant():
+    # Interprocedural: the helper's return summary is a constant.
+    return random.Random(fixed_base())
+
+
+def build(hash_seed):
+    return hash_seed
+
+
+def keyword_site():
+    return build(hash_seed=5)  # flagged: constant via seed keyword
+
+
+def suppressed_site():
+    return random.Random(7)  # zsan: ignore[ZS101]

@@ -1,0 +1,26 @@
+"""ZS102 clean twin: workers communicate only through return values."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+LIMITS = (1, 2, 3)
+
+
+def helper(job):
+    return job + 1
+
+
+def worker(job, limit):
+    local = []
+    local.append(helper(job))
+    return sum(local) * limit
+
+
+def worker_two(job):
+    return helper(job)
+
+
+def dispatch(jobs):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(worker, j, LIMITS[0]) for j in jobs]
+        futures.append(pool.submit(worker_two, jobs[0]))
+        return [f.result() for f in futures]

@@ -1,0 +1,41 @@
+"""ZS102 fixture: worker dispatches that break process isolation."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+RESULTS = []
+CACHE = {}
+TOTAL = 0
+
+
+def worker(job):
+    RESULTS.append(job)  # flagged: mutator on module-level mutable
+    return job
+
+
+def helper_mutates(job):
+    CACHE["latest"] = job  # flagged: subscript store into module state
+
+
+def worker_two(job):
+    helper_mutates(job)  # violation reached through the call graph
+    with open("scratch.log", "w") as fh:  # flagged: open() in worker
+        fh.write(str(job))
+    return job
+
+
+def global_worker(job):
+    global TOTAL  # flagged: global declaration in worker-reachable code
+    TOTAL += job
+    return job
+
+
+def dispatch(jobs):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(worker, j) for j in jobs]
+        futures.append(pool.submit(worker_two, jobs[0]))
+        futures.append(pool.submit(global_worker, jobs[0]))
+        futures.append(pool.submit(lambda j: j, jobs[0]))  # flagged: lambda
+        handle = open("input.bin", "rb")
+        futures.append(pool.submit(worker, handle))  # flagged: open handle
+        futures.append(pool.submit(worker, RESULTS))  # flagged: module state
+        return [f.result() for f in futures]

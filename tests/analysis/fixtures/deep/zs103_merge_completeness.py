@@ -1,0 +1,68 @@
+"""ZS103 fixture: merge paths that drop registered metrics."""
+
+
+class Counter:
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+
+class Gauge:
+    def __init__(self, name):
+        self.name = name
+        self.value = 0.0
+
+
+class RegistryStats:
+    """Stand-in facade base (resolved by base-name tail)."""
+
+    _COUNTER_FIELDS = ()
+
+    def __init__(self, registry):
+        self.registry = registry
+
+    def merge_counters(self, other):
+        pass
+
+
+class LeakyRegistry:
+    """merge_snapshot folds counters but silently drops gauges."""
+
+    def __init__(self):
+        self._store = {}
+
+    def _register(self, name, metric):
+        self._store[name] = metric
+        return metric
+
+    def counter(self, name):
+        return self._register(name, Counter(name))
+
+    def gauge(self, name):
+        return self._register(name, Gauge(name))
+
+    def merge_snapshot(self, snapshot):  # flagged: no gauge fold
+        for name, value in snapshot.items():
+            self.counter(name).value += value
+
+
+class ForgetfulStats(RegistryStats):
+    """merge() covers one counter field and forgets the rest."""
+
+    _COUNTER_FIELDS = ("hits", "misses")
+
+    def __init__(self, registry):
+        super().__init__(registry)
+        self._depth = registry.int_histogram("depth")
+
+    def merge(self, other):  # flagged: misses and _depth never folded
+        self.hits += other.hits
+
+
+class SilentStats(RegistryStats):
+    """Registers an extra metric and defines no merge() at all."""
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "_levels", self.registry.int_histogram("levels")
+        )

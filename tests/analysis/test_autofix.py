@@ -1,0 +1,223 @@
+"""Before/after tests for ``lint --fix`` (the ZSan autofixer).
+
+Each case pins the exact rewritten text, because the fixer's contract
+is minimal edits: untouched lines survive byte-for-byte, comments and
+formatting included. Idempotency is asserted throughout — fixing fixed
+text changes nothing.
+"""
+
+from pathlib import Path
+
+from repro.analysis.lint import FIXABLE_CODES, LintEngine, fix_paths, fix_text
+from repro.cli import main as cli_main
+
+# ZS004 only applies under core/; route dataclass cases through a
+# matching fake path.
+CORE = Path("src/repro/core/scratch.py")
+ELSEWHERE = Path("src/repro/experiments/scratch.py")
+
+
+def test_fixable_codes_are_the_documented_pair():
+    assert FIXABLE_CODES == {"ZS001", "ZS004"}
+
+
+# ---------------------------------------------------------------------------
+# ZS004: slots=True insertion
+
+
+def test_bare_dataclass_gains_call_form():
+    before = (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class Point:\n"
+        "    x: int\n"
+    )
+    after, result = fix_text(before, CORE)
+    assert "@dataclass(slots=True)" in after
+    assert result.fixes == 1
+    assert result.codes == {"ZS004"}
+
+
+def test_call_form_appends_after_existing_kwargs():
+    before = (
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=True)\n"
+        "class Point:\n"
+        "    x: int\n"
+    )
+    after, _ = fix_text(before, CORE)
+    assert "@dataclass(frozen=True, slots=True)" in after
+
+
+def test_empty_parens_get_no_leading_comma():
+    before = (
+        "from dataclasses import dataclass\n"
+        "@dataclass()\n"
+        "class Point:\n"
+        "    x: int\n"
+    )
+    after, _ = fix_text(before, CORE)
+    assert "@dataclass(slots=True)" in after
+
+
+def test_trailing_comma_call_form():
+    before = (
+        "from dataclasses import dataclass\n"
+        "@dataclass(\n"
+        "    frozen=True,\n"
+        ")\n"
+        "class Point:\n"
+        "    x: int\n"
+    )
+    after, _ = fix_text(before, CORE)
+    assert "slots=True" in after
+    assert ",, " not in after and ", ," not in after
+    # Still parses and still lints clean for ZS004.
+    findings = LintEngine().lint_text(after, CORE)
+    assert not [f for f in findings if f.code == "ZS004"]
+
+
+def test_already_slotted_dataclass_untouched():
+    before = (
+        "from dataclasses import dataclass\n"
+        "@dataclass(slots=True)\n"
+        "class Point:\n"
+        "    x: int\n"
+    )
+    after, result = fix_text(before, CORE)
+    assert after == before
+    assert not result.changed
+
+
+def test_suppressed_dataclass_untouched():
+    before = (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class Point:  # zsan: ignore[ZS004]\n"
+        "    x: int\n"
+    )
+    after, result = fix_text(before, CORE)
+    assert after == before
+    assert not result.changed
+
+
+def test_dataclass_outside_core_untouched():
+    before = (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class Point:\n"
+        "    x: int\n"
+    )
+    after, result = fix_text(before, ELSEWHERE)
+    assert after == before
+    assert not result.changed
+
+
+# ---------------------------------------------------------------------------
+# ZS001: from-random import rewrite
+
+
+def test_unsafe_from_random_rewritten_to_random():
+    before = "from random import randint\n"
+    after, result = fix_text(before, ELSEWHERE)
+    assert after == "from random import Random\n"
+    assert result.codes == {"ZS001"}
+
+
+def test_safe_names_and_asnames_kept():
+    before = "from random import randint, SystemRandom as SR, Random\n"
+    after, _ = fix_text(before, ELSEWHERE)
+    assert after == "from random import SystemRandom as SR, Random\n"
+
+
+def test_safe_only_import_untouched():
+    before = "from random import Random, SystemRandom\n"
+    after, result = fix_text(before, ELSEWHERE)
+    assert after == before
+    assert not result.changed
+
+
+def test_suppressed_import_untouched():
+    before = "from random import randint  # zsan: ignore[ZS001]\n"
+    after, result = fix_text(before, ELSEWHERE)
+    assert after == before
+    assert not result.changed
+
+
+def test_surrounding_lines_survive_byte_for_byte():
+    before = (
+        "# header comment\n"
+        "import os\n"
+        "from random import shuffle\n"
+        "\n"
+        "X = 1  # trailing\n"
+    )
+    after, _ = fix_text(before, ELSEWHERE)
+    assert after == (
+        "# header comment\n"
+        "import os\n"
+        "from random import Random\n"
+        "\n"
+        "X = 1  # trailing\n"
+    )
+
+
+# ---------------------------------------------------------------------------
+# General contracts
+
+
+def test_fix_is_idempotent():
+    before = (
+        "from dataclasses import dataclass\n"
+        "from random import randint\n"
+        "@dataclass\n"
+        "class Point:\n"
+        "    x: int\n"
+    )
+    once, first = fix_text(before, CORE)
+    twice, second = fix_text(once, CORE)
+    assert first.fixes == 2
+    assert twice == once
+    assert not second.changed
+
+
+def test_unparsable_source_returned_untouched():
+    before = "def broken(:\n"
+    after, result = fix_text(before, CORE)
+    assert after == before
+    assert not result.changed
+
+
+def test_fix_paths_rewrites_only_changed_files(tmp_path):
+    core = tmp_path / "core"
+    core.mkdir()
+    dirty = core / "dirty.py"
+    dirty.write_text(
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class P:\n"
+        "    x: int\n",
+        encoding="utf-8",
+    )
+    clean = core / "clean.py"
+    clean_text = "VALUE = 1\n"
+    clean.write_text(clean_text, encoding="utf-8")
+
+    results = fix_paths([tmp_path])
+    assert [Path(r.path).name for r in results] == ["dirty.py"]
+    assert "@dataclass(slots=True)" in dirty.read_text(encoding="utf-8")
+    assert clean.read_text(encoding="utf-8") == clean_text
+
+
+def test_cli_fix_repairs_then_reports_clean(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("from random import randrange\n", encoding="utf-8")
+    assert cli_main(["lint", "--fix", str(target)]) == 0
+    captured = capsys.readouterr()
+    assert "fixed 1 issue" in captured.err
+    assert "ZS001" in captured.err
+    assert target.read_text(encoding="utf-8") == "from random import Random\n"
+
+    # Second run: nothing left to fix, still clean.
+    assert cli_main(["lint", "--fix", str(target)]) == 0
+    assert "fixed" not in capsys.readouterr().err

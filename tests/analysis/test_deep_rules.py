@@ -1,0 +1,274 @@
+"""Fixture tests for the ZProve deep rules (ZS101-ZS104).
+
+Each rule has a flagged fixture and a clean twin under
+``fixtures/deep/``; the flagged fixtures pin exact line numbers so a
+rule that drifts (new false positive, lost true positive) fails loudly.
+The acceptance tests plant real regressions into scratch copies of
+production modules — a nondeterministic seed in the sweep engine, a
+dropped counter fold in the metrics registry — and require the rules to
+catch them.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.semantic import (
+    DEEP_RULE_REGISTRY,
+    DeepRule,
+    default_deep_rules,
+    register_deep_rule,
+    run_deep,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "deep"
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def deep_findings(path, code):
+    report, _ = run_deep([path], select=[code], use_cache=False)
+    return [f for f in report.findings if f.code == code]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+
+
+def test_default_rules_cover_all_four_codes():
+    codes = [r.code for r in default_deep_rules()]
+    assert codes == ["ZS101", "ZS102", "ZS103", "ZS104"]
+
+
+def test_registry_rejects_shallow_code_range():
+    with pytest.raises(ValueError, match="ZS1xx"):
+
+        @register_deep_rule
+        class Bad(DeepRule):  # pragma: no cover - rejected at decoration
+            code = "ZS007"
+            name = "bad"
+            summary = "bad"
+
+            def check_module(self, model, module):
+                return []
+
+    assert "ZS007" not in DEEP_RULE_REGISTRY
+
+
+def test_registry_rejects_duplicate_code():
+    with pytest.raises(ValueError, match="duplicate"):
+
+        @register_deep_rule
+        class Clash(DeepRule):  # pragma: no cover - rejected at decoration
+            code = "ZS101"
+            name = "clash"
+            summary = "clash"
+
+            def check_module(self, model, module):
+                return []
+
+
+def test_run_deep_rejects_unknown_select_code():
+    with pytest.raises(ValueError, match="ZS999"):
+        run_deep([FIXTURES / "zs101_clean.py"], select=["ZS999"])
+
+
+# ---------------------------------------------------------------------------
+# Fixture pins: (fixture, code, expected lines); clean twins pin zero.
+
+FLAGGED = [
+    ("zs101_seed_provenance.py", "ZS101", [14, 18, 22, 26, 35, 43]),
+    ("zs102_parallel_safety.py", "ZS102", [11, 16, 21, 27, 37, 39, 40]),
+    ("zs103_merge_completeness.py", "ZS103", [44, 58, 58, 62]),
+    ("core/zs104_hidden_state.py", "ZS104", [3, 4, 5, 6]),
+]
+
+CLEAN = [
+    ("zs101_clean.py", "ZS101"),
+    ("zs102_clean.py", "ZS102"),
+    ("zs103_clean.py", "ZS103"),
+    ("core/zs104_clean.py", "ZS104"),
+]
+
+
+@pytest.mark.parametrize("rel,code,lines", FLAGGED)
+def test_flagged_fixture_pins_lines(rel, code, lines):
+    findings = deep_findings(FIXTURES / rel, code)
+    assert [f.line for f in findings] == lines, "\n".join(
+        f.render() for f in findings
+    )
+    assert all(f.code == code for f in findings)
+
+
+@pytest.mark.parametrize("rel,code", CLEAN)
+def test_clean_twin_has_no_findings(rel, code):
+    findings = deep_findings(FIXTURES / rel, code)
+    assert not findings, "\n".join(f.render() for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# Per-rule semantics worth asserting beyond the line pins.
+
+
+def test_zs101_labels_each_taint():
+    findings = deep_findings(
+        FIXTURES / "zs101_seed_provenance.py", "ZS101"
+    )
+    messages = "\n".join(f.message for f in findings)
+    assert "taint:wall-clock" in messages
+    assert "taint:object-identity" in messages
+    assert "taint:salted-hash" in messages
+    assert "constant" in messages.lower()
+
+
+def test_zs102_cross_module_finding_lands_in_helper():
+    # helper_mutates is only *reached* from the dispatched worker; the
+    # finding anchors at the mutation site, not the submit() call.
+    findings = deep_findings(
+        FIXTURES / "zs102_parallel_safety.py", "ZS102"
+    )
+    by_line = {f.line: f.message for f in findings}
+    assert "CACHE" in by_line[16]
+
+
+def test_zs103_names_the_dropped_metrics():
+    findings = deep_findings(
+        FIXTURES / "zs103_merge_completeness.py", "ZS103"
+    )
+    messages = "\n".join(f.message for f in findings)
+    assert "gauge" in messages
+    assert "misses" in messages
+    assert "_depth" in messages
+    assert "_levels" in messages
+
+
+# ---------------------------------------------------------------------------
+# Suppression: every deep rule honours `# zsan: ignore[CODE]` at the
+# flagged line (fixtures already carry one suppressed site for ZS101
+# and ZS104; ZS102/ZS103 are exercised via patched copies).
+
+
+def test_zs101_suppressed_site_not_reported():
+    findings = deep_findings(
+        FIXTURES / "zs101_seed_provenance.py", "ZS101"
+    )
+    assert 47 not in [f.line for f in findings]
+
+
+def test_zs104_suppressed_global_not_reported():
+    findings = deep_findings(
+        FIXTURES / "core" / "zs104_hidden_state.py", "ZS104"
+    )
+    assert 7 not in [f.line for f in findings]
+
+
+def _suppress_line(text, lineno, code):
+    lines = text.splitlines()
+    lines[lineno - 1] = lines[lineno - 1].rstrip() + f"  # zsan: ignore[{code}]"
+    return "\n".join(lines) + "\n"
+
+
+def test_zs102_suppression_honoured(tmp_path):
+    original = (FIXTURES / "zs102_parallel_safety.py").read_text(
+        encoding="utf-8"
+    )
+    scratch = tmp_path / "zs102_suppressed.py"
+    scratch.write_text(
+        _suppress_line(original, 11, "ZS102"), encoding="utf-8"
+    )
+    findings = deep_findings(scratch, "ZS102")
+    assert [f.line for f in findings] == [16, 21, 27, 37, 39, 40]
+
+
+def test_zs103_suppression_honoured(tmp_path):
+    original = (FIXTURES / "zs103_merge_completeness.py").read_text(
+        encoding="utf-8"
+    )
+    scratch = tmp_path / "zs103_suppressed.py"
+    scratch.write_text(
+        _suppress_line(original, 44, "ZS103"), encoding="utf-8"
+    )
+    findings = deep_findings(scratch, "ZS103")
+    assert [f.line for f in findings] == [58, 58, 62]
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: plant real regressions into scratch copies of production
+# modules and require the deep rules to catch them.
+
+
+def test_zs101_catches_identity_seed_planted_in_parallel(tmp_path):
+    source = SRC / "experiments" / "parallel.py"
+    text = source.read_text(encoding="utf-8")
+    assert "seed=derive_job_seed(" in text  # the sanctioned derivation
+    planted = text.replace("seed=derive_job_seed(", "seed=id(", 1)
+    scratch = tmp_path / "parallel_scratch.py"
+    scratch.write_text(planted, encoding="utf-8")
+
+    findings = deep_findings(scratch, "ZS101")
+    assert findings, "planted id()-seed was not caught"
+    assert any("taint:object-identity" in f.message for f in findings)
+
+
+def test_zs101_passes_unmodified_parallel(tmp_path):
+    source = SRC / "experiments" / "parallel.py"
+    scratch = tmp_path / "parallel_copy.py"
+    scratch.write_text(source.read_text(encoding="utf-8"), encoding="utf-8")
+    assert not deep_findings(scratch, "ZS101")
+
+
+def test_zs103_catches_removed_counter_fold(tmp_path):
+    source = SRC / "obs" / "metrics.py"
+    text = source.read_text(encoding="utf-8")
+    assert "self.counter(name).value += value" in text
+    planted = text.replace("self.counter(name).value += value", "pass", 1)
+    scratch = tmp_path / "metrics_scratch.py"
+    scratch.write_text(planted, encoding="utf-8")
+
+    findings = deep_findings(scratch, "ZS103")
+    assert findings, "removed counter fold was not caught"
+    assert any("counter" in f.message.lower() for f in findings)
+
+
+def test_zs103_passes_unmodified_metrics(tmp_path):
+    source = SRC / "obs" / "metrics.py"
+    scratch = tmp_path / "metrics_copy.py"
+    scratch.write_text(source.read_text(encoding="utf-8"), encoding="utf-8")
+    assert not deep_findings(scratch, "ZS103")
+
+
+# ---------------------------------------------------------------------------
+# Satellite regression: the bootstrap ZS101 findings in conflict.py were
+# fixed by threading a seed parameter; the defaults must reproduce the
+# historical hash seeds bit-for-bit so published goldens stay valid.
+
+
+def test_conflict_designs_defaults_preserve_historical_seeds():
+    from repro.experiments.conflict import _designs
+
+    def h3_seeds(designs):
+        seeds = {}
+        for label, _ways, factory in designs:
+            arr = factory()
+            hashes = getattr(arr, "hashes", None) or [
+                getattr(arr, "index_hash", None)
+            ]
+            first = hashes[0]
+            if hasattr(first, "seed"):
+                seeds[label] = first.seed
+        return seeds
+
+    default = h3_seeds(_designs())
+    # H3Hash derives per-bank seeds from the design's hash_seed; these
+    # exact values are what hash_seed=1..4 produced before the fix.
+    assert default["SA-4h"] == 1000003
+    assert default["SK-4"] == 2000006
+    assert default["Z4/16"] == 3000009
+    assert default["Z4/52"] == 4000012
+    assert h3_seeds(_designs(seed=0)) == default
+    shifted = h3_seeds(_designs(seed=10))
+    assert all(shifted[k] != default[k] for k in default)
+
+
+def test_conflict_module_is_deep_clean():
+    findings = deep_findings(SRC / "experiments" / "conflict.py", "ZS101")
+    assert not findings, "\n".join(f.render() for f in findings)

@@ -1,0 +1,104 @@
+"""Deep self-lint: src/repro must stay clean under the ZProve rules.
+
+Same deal as the per-file self-lint — ZS101-ZS104 only have teeth if
+the tree is pinned at zero deep findings. Also covers the CLI surface
+of ``lint --deep``: the stats line, rule listing, cache flags, select
+interaction, and the unknown-code exit.
+"""
+
+from pathlib import Path
+
+from repro.analysis.semantic import run_deep
+from repro.cli import main as cli_main
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_source_tree_is_deep_clean():
+    report, stats = run_deep([SRC], use_cache=False)
+    assert report.files_checked > 50
+    assert stats.modules_total > 50
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert not report.findings, f"src/repro has deep findings:\n{rendered}"
+
+
+def test_cli_deep_exits_zero_on_source_tree(tmp_path, capsys):
+    cache = tmp_path / "cache.json"
+    assert (
+        cli_main(["lint", "--deep", "--cache", str(cache), str(SRC)]) == 0
+    )
+    captured = capsys.readouterr()
+    assert "clean" in captured.out
+    assert "zprove:" in captured.err
+
+    # Warm run: every module served from cache.
+    assert (
+        cli_main(["lint", "--deep", "--cache", str(cache), str(SRC)]) == 0
+    )
+    err = capsys.readouterr().err
+    assert "0 analyzed" in err
+    assert "from cache" in err
+
+
+def test_cli_no_cache_never_writes_the_cache_file(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("X = 1\n", encoding="utf-8")
+    cache = tmp_path / "cache.json"
+    assert (
+        cli_main(
+            [
+                "lint",
+                "--deep",
+                "--no-cache",
+                "--cache",
+                str(cache),
+                str(target),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert not cache.exists()
+
+
+def test_cli_rules_listing_includes_deep_codes(capsys):
+    assert cli_main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("ZS101", "ZS102", "ZS103", "ZS104"):
+        assert code in out
+    assert "[deep]" in out
+
+
+def test_cli_unknown_code_is_a_usage_error(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("X = 1\n", encoding="utf-8")
+    assert cli_main(["lint", "--select", "ZS999", str(target)]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_cli_selecting_deep_code_runs_deep_pass(tmp_path, capsys):
+    fixture = (
+        Path(__file__).resolve().parent
+        / "fixtures"
+        / "deep"
+        / "zs101_seed_provenance.py"
+    )
+    # Selecting ZS101 without --deep still triggers the deep pass, and
+    # only ZS101 findings come back.
+    code = cli_main(
+        ["lint", "--select", "ZS101", "--no-cache", str(fixture)]
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "ZS101" in captured.out
+    assert "ZS001" not in captured.out  # fixture imports `random` bare
+
+
+def test_cli_shallow_select_skips_deep_pass(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("X = 1\n", encoding="utf-8")
+    assert (
+        cli_main(["lint", "--deep", "--select", "ZS004", str(target)]) == 0
+    )
+    # A shallow-only selection under --deep must not run ZProve.
+    assert "zprove:" not in capsys.readouterr().err

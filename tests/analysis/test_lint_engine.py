@@ -95,6 +95,62 @@ class TestSuppression:
         )
         assert LintEngine().lint_text(text) == []
 
+    def test_suppression_after_backslash_continuation(self):
+        # The comment can only live on the last physical line of a
+        # backslash-continued statement; the finding anchors on the
+        # first. Suppression must cover the whole statement span.
+        text = (
+            "import random\n"
+            "x = random.random() + \\\n"
+            "    1.0  # zsan: ignore[ZS001]\n"
+        )
+        assert LintEngine().lint_text(text) == []
+
+    def test_suppression_inside_multiline_call(self):
+        text = (
+            "import random\n"
+            "x = max(\n"
+            "    random.random(),  # zsan: ignore[ZS001]\n"
+            "    0.5,\n"
+            ")\n"
+        )
+        assert LintEngine().lint_text(text) == []
+
+    def test_suppression_on_first_line_of_multiline_call(self):
+        text = (
+            "import random\n"
+            "x = max(  # zsan: ignore[ZS001]\n"
+            "    random.random(),\n"
+            "    0.5,\n"
+            ")\n"
+        )
+        assert LintEngine().lint_text(text) == []
+
+    def test_suppression_does_not_leak_across_statements(self):
+        # A suppression inside one statement must not silence the next,
+        # and a suppression in a function body must not act as a
+        # function-wide blanket.
+        text = (
+            "import random\n"
+            "def f():\n"
+            "    a = random.random()  # zsan: ignore[ZS001]\n"
+            "    b = random.random()\n"
+            "    return a + b\n"
+        )
+        findings = LintEngine().lint_text(text)
+        assert [f.line for f in findings] == [4]
+
+    def test_suppression_on_decorator_line_covers_class_header(self):
+        # ZS004 anchors on the class statement; the natural place for
+        # the ignore is the @dataclass decorator line just above.
+        text = (
+            "from dataclasses import dataclass\n"
+            "@dataclass  # zsan: ignore[ZS004]\n"
+            "class Hot:\n"
+            "    x: int\n"
+        )
+        assert LintEngine().lint_text(text, path="core/hot.py") == []
+
 
 class TestFiltering:
     def test_select_runs_only_named_rules(self):

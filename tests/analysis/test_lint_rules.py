@@ -47,9 +47,12 @@ class TestFixtures:
         assert code in out
 
     def test_every_fixture_is_covered(self):
+        # fixtures/deep/ belongs to the ZProve rules and is pinned by
+        # test_deep_rules.py; this inventory covers the per-file rules.
         on_disk = {
             str(p.relative_to(FIXTURES))
             for p in FIXTURES.rglob("*.py")
+            if p.relative_to(FIXTURES).parts[0] != "deep"
         }
         assert on_disk == set(FIXTURE_CODES)
 
