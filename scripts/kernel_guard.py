@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""CI guard: the turbo engine stays meaningfully faster than reference.
+
+Runs the Fig. 2 hot loop (the ZTurbo tentpole workload) once per engine,
+interleaved over several rounds with each series taking its min — the
+same shared-runner noise discipline as ``scripts/obs_guard.py``. The
+guarded quantity is the speedup ``reference_seconds / turbo_seconds``,
+which is self-normalizing (both runs execute on the same machine in the
+same process), so no calibration loop is needed.
+
+The floor is 1.5x — deliberately below the >=2x recorded in
+``BENCH_kernels.json`` at full scale, because CI runs a reduced scale
+where fixed per-access overhead weighs more. Falling under the floor
+means a change re-serialized a kernel hot path (or quietly disabled the
+turbo engine), which is a regression even while bit-identity still
+holds.
+
+Usage::
+
+    python scripts/kernel_guard.py [--accesses N] [--floor X]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_ACCESSES = 30_000
+DEFAULT_BLOCKS = 1024
+DEFAULT_FLOOR = 1.5
+
+
+def fig2_seconds(engine: str, accesses: int, cache_blocks: int) -> float:
+    """Seconds for one reduced-scale Fig. 2 run on ``engine``."""
+    from repro.experiments.fig2 import run as fig2_run
+
+    t0 = time.perf_counter()
+    fig2_run(
+        cache_blocks=cache_blocks, accesses=accesses, seed=0, engine=engine
+    )
+    return time.perf_counter() - t0
+
+
+def measure(accesses: int, cache_blocks: int, rounds: int = 3) -> float:
+    """Min-over-rounds speedup of turbo over reference."""
+    fig2_seconds("turbo", accesses // 4, cache_blocks)  # warm imports/caches
+    refs, turbos = [], []
+    for _ in range(rounds):
+        refs.append(fig2_seconds("reference", accesses, cache_blocks))
+        turbos.append(fig2_seconds("turbo", accesses, cache_blocks))
+    ref, turbo = min(refs), min(turbos)
+    print(f"reference: {ref:.3f}s  turbo: {turbo:.3f}s")
+    return ref / turbo
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--accesses", type=int, default=DEFAULT_ACCESSES)
+    parser.add_argument("--cache-blocks", type=int, default=DEFAULT_BLOCKS)
+    parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR)
+    args = parser.parse_args(argv)
+
+    speedup = measure(args.accesses, args.cache_blocks)
+    print(f"kernel_guard: turbo speedup {speedup:.2f}x (floor {args.floor}x)")
+    if speedup < args.floor:
+        print("kernel_guard: turbo engine fell under the performance floor")
+        return 1
+    print("kernel_guard: turbo performance within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,8 +65,13 @@ class UnseededRandomness(LintRule):
 
     #: names importable from ``random`` without tripping the rule
     _SAFE_FROM_RANDOM = frozenset({"Random", "SystemRandom"})
+    #: bit-generator classes: deterministic when (and only when) seeded,
+    #: so they get the same treatment as ``default_rng``
+    _NP_BIT_GENERATORS = frozenset({"MT19937", "PCG64", "PCG64DXSM", "Philox", "SFC64"})
     #: numpy.random attributes that are seedable-by-construction
-    _SAFE_FROM_NP_RANDOM = frozenset({"Generator", "SeedSequence", "default_rng"})
+    _SAFE_FROM_NP_RANDOM = (
+        frozenset({"Generator", "SeedSequence", "default_rng"}) | _NP_BIT_GENERATORS
+    )
 
     def check(self, src: LintSource) -> Iterator[Finding]:
         """Flag global-RNG imports and calls in ``src``."""
@@ -141,12 +146,12 @@ class UnseededRandomness(LintRule):
         elif root in numpy_names and len(parts) >= 3 and parts[1] == "random":
             if tail in ("Generator", "SeedSequence"):
                 return
-            if tail == "default_rng":
+            if tail == "default_rng" or tail in self._NP_BIT_GENERATORS:
                 if not node.args and not node.keywords:
                     yield self.finding(
                         src,
                         node,
-                        "numpy.random.default_rng() without a seed is "
+                        f"numpy.random.{tail}() without a seed is "
                         "nondeterministic; pass an explicit seed",
                     )
                 return
@@ -472,6 +477,14 @@ class CounterBypass(LintRule):
     snapshots, ``zcache-repro stats`` and trace summaries silently
     under-report. Private epoch-local accumulators (underscore-prefixed)
     are fine: they are bookkeeping, not reported statistics.
+
+    The ZTurbo kernels (``kernels/``) add a second hazard at their
+    accumulator fold points: a vectorized stage computes a batch delta
+    and must fold it *additively* into the registered counter. A plain
+    assignment — ``counter.value = batch_total`` — overwrites whatever
+    the counter already held (reference-path warm-up, invalidations,
+    counts surviving a stats swap), so in kernels modules any ``=`` on
+    a ``.value`` attribute is flagged alongside the facade bypasses.
     """
 
     code = "ZS006"
@@ -494,19 +507,41 @@ class CounterBypass(LintRule):
 
     @classmethod
     def applies_to(cls, path: Path) -> bool:
-        """Only the hot-path packages (``core``/``sim`` directories)."""
-        return "core" in path.parts or "sim" in path.parts
+        """The hot-path packages (``core``/``sim``/``kernels`` dirs)."""
+        return (
+            "core" in path.parts
+            or "sim" in path.parts
+            or "kernels" in path.parts
+        )
 
     def check(self, src: LintSource) -> Iterator[Finding]:
-        """Flag ``+=``/``-=`` on counter-looking attributes."""
+        """Flag ``+=``/``-=`` on counter-looking attributes.
+
+        In kernels modules, additionally flag plain assignment to a
+        ``.value`` attribute (an accumulator fold point must add, not
+        overwrite).
+        """
+        in_kernels = "kernels" in src.path.parts
         for node in ast.walk(src.tree):
-            if not isinstance(node, ast.AugAssign):
-                continue
-            if not isinstance(node.op, (ast.Add, ast.Sub)):
-                continue
-            message = self._bypass_message(node.target)
-            if message is not None:
-                yield self.finding(src, node, message)
+            if isinstance(node, ast.AugAssign):
+                if not isinstance(node.op, (ast.Add, ast.Sub)):
+                    continue
+                message = self._bypass_message(node.target)
+                if message is not None:
+                    yield self.finding(src, node, message)
+            elif in_kernels and isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "value"
+                    ):
+                        yield self.finding(
+                            src,
+                            node,
+                            "'=' on a Counter's .value overwrites counts "
+                            "accumulated outside this kernel; fold the "
+                            "batch delta additively (counter.value += delta)",
+                        )
 
     def _bypass_message(self, target: ast.AST) -> Optional[str]:
         node = target

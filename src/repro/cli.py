@@ -97,6 +97,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
+        "--engine", choices=("reference", "turbo"), default="reference",
+        help="cache access engine: 'turbo' runs the ZTurbo vectorized "
+        "kernels where supported (bit-identical results; currently "
+        "honoured by fig2)",
+    )
+    parser.add_argument(
         "--json", type=str, default=None, metavar="PATH",
         help="also write structured results as JSON (simulation "
         "experiments: fig3/fig4/fig5/bandwidth)",
@@ -121,7 +127,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "fig2":
         from repro.experiments import fig2
 
-        result = fig2.run()
+        result = fig2.run(engine=args.engine)
         for line in result.rows():
             print(line)
         if args.svg:

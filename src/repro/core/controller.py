@@ -23,13 +23,19 @@ access / miss / walk / eviction trace events through its bus.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
 from repro.core.base import CacheArray, Candidate, Replacement
 from repro.obs import ObsContext
 from repro.obs.events import TraceBus
 from repro.obs.metrics import MetricsRegistry, RegistryStats
 from repro.replacement.base import ReplacementPolicy
+
+if TYPE_CHECKING:
+    from repro.kernels.engine import TurboCore
+
+#: valid values for the ``engine`` constructor argument
+ENGINES = ("reference", "turbo")
 
 
 @dataclass(slots=True)
@@ -122,6 +128,15 @@ class Cache:
         controller emits trace events through its bus. Without one,
         behaviour is identical to the pre-ZScope controller: a private
         registry and no tracing.
+    engine:
+        ``"reference"`` (default) runs the per-candidate Python
+        protocol below; ``"turbo"`` delegates accesses to the ZTurbo
+        vectorized core (:mod:`repro.kernels`) when the configuration
+        is supported, silently falling back to the reference path when
+        it is not. Both engines are bit-identical in every observable
+        (victims, priorities, counters, final contents) — asserted by
+        ``scripts/diff_engines.py``. The :attr:`engine` attribute holds
+        the engine actually running.
     """
 
     def __init__(
@@ -130,16 +145,53 @@ class Cache:
         policy: ReplacementPolicy,
         name: str = "cache",
         obs: Optional[ObsContext] = None,
+        engine: str = "reference",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.array = array
         self.policy = policy
         self.name = name
         self.obs = obs
+        # Listeners must exist before the first ``stats`` assignment:
+        # the property setter (re)binds the hot-path counter refs and
+        # notifies everything that caches them (BankedL2 memos, the
+        # turbo core).
+        self._stats_listeners: list[Callable[[], None]] = []
         self.stats = CacheStats(obs.metrics if obs is not None else None)
+        self._trace: Optional[TraceBus] = (
+            obs.trace if obs is not None and obs.trace.enabled else None
+        )
+        self._label = (obs.label or name) if obs is not None else name
+        if obs is not None:
+            array.attach_obs(obs, label=self._label)
+        self._dirty: set[int] = set()
+        self._pinned: set[int] = set()
+        self.requested_engine = engine
+        self._turbo: Optional["TurboCore"] = None
+        if engine == "turbo":
+            from repro.kernels.engine import try_build_turbo
+
+            self._turbo = try_build_turbo(self)
+            if obs is not None:
+                obs.metrics.gauge("engine_turbo").set(
+                    1 if self._turbo is not None else 0
+                )
+        self.engine = "turbo" if self._turbo is not None else "reference"
+
+    # -- statistics rebinding ------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        """Cumulative statistics; assigning a new instance re-homes them."""
+        return self._stats
+
+    @stats.setter
+    def stats(self, value: CacheStats) -> None:
+        self._stats = value
         # Hot-path counter bindings: the access loop increments these
         # directly (counter.value += 1 costs what the old dataclass
         # attribute bump cost); the registry facade is for readers.
-        counters = self.stats.counters()
+        counters = value.counters()
         self._sc = counters
         self._c_accesses = counters["accesses"]
         self._c_reads = counters["reads"]
@@ -149,14 +201,17 @@ class Cache:
         self._c_tag_reads = counters["tag_reads"]
         self._c_data_reads = counters["data_reads"]
         self._c_data_writes = counters["data_writes"]
-        self._trace: Optional[TraceBus] = (
-            obs.trace if obs is not None and obs.trace.enabled else None
-        )
-        self._label = (obs.label or name) if obs is not None else name
-        if obs is not None:
-            array.attach_obs(obs, label=self._label)
-        self._dirty: set[int] = set()
-        self._pinned: set[int] = set()
+        for listener in self._stats_listeners:
+            listener()
+
+    def add_stats_listener(self, callback: Callable[[], None]) -> None:
+        """Call ``callback`` whenever :attr:`stats` is replaced.
+
+        Anything that caches references derived from the stats object
+        (counter lists, hot-path counter refs) must register here, or a
+        mid-run registry swap leaves it reading the orphaned counters.
+        """
+        self._stats_listeners.append(callback)
 
     # -- queries -------------------------------------------------------------
     def __contains__(self, address: int) -> bool:
@@ -182,6 +237,11 @@ class Cache:
         path. High associativity makes this rare: that is the paper's
         Section I motivation.
         """
+        if self._turbo is not None:
+            raise RuntimeError(
+                "pinning is not supported under the turbo engine; "
+                "construct the cache with engine='reference'"
+            )
         if self.array.lookup(address) is None:
             raise KeyError(f"cannot pin non-resident block {address:#x}")
         self._pinned.add(address)
@@ -233,6 +293,8 @@ class Cache:
     # -- the access protocol ---------------------------------------------------
     def access(self, address: int, is_write: bool = False) -> AccessResult:
         """Perform one read or write access to ``address``."""
+        if self._turbo is not None:
+            return self._turbo.access(address, is_write)
         if address < 0:
             raise ValueError(f"address must be non-negative, got {address}")
         self._c_accesses.value += 1
@@ -379,6 +441,8 @@ class Cache:
         Missing blocks are tolerated — an invalidation can race an
         eviction — and return False.
         """
+        if self._turbo is not None:
+            return self._turbo.invalidate(address)
         if self.array.lookup(address) is None:
             return False
         self.array.evict_address(address)

@@ -46,10 +46,14 @@ class TwoPhaseZCache(Cache):
         policy: ReplacementPolicy,
         name: str = "z2p",
         obs: Optional[ObsContext] = None,
+        engine: str = "reference",
     ) -> None:
         if not isinstance(array, ZCacheArray):
             raise TypeError("TwoPhaseZCache requires a ZCacheArray")
-        super().__init__(array, policy, name=name, obs=obs)
+        # ``engine="turbo"`` is accepted for interface symmetry but the
+        # two-phase protocol has no kernel implementation, so
+        # try_build_turbo declines it and the reference path runs.
+        super().__init__(array, policy, name=name, obs=obs, engine=engine)
         registry = self.stats.registry
         self._c_sp_walks = registry.counter("second_phase_walks")
         self._c_sp_wins = registry.counter("second_phase_wins")

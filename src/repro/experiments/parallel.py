@@ -535,6 +535,11 @@ def run_sweep_cli(argv: list) -> int:
     parser.add_argument("--instructions", type=int, default=6_000)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
+        "--engine", choices=("reference", "turbo"), default="reference",
+        help="bank access engine: 'turbo' runs the ZTurbo vectorized "
+        "kernels (bit-identical; unsupported policies fall back)",
+    )
+    parser.add_argument(
         "--timeout", type=float, default=None,
         help="soft per-job timeout in seconds (one retry, then serial)",
     )
@@ -569,6 +574,7 @@ def run_sweep_cli(argv: list) -> int:
         designs=DESIGNS_FIG4,
         policies=tuple(args.policies.split(",")),
         scale=scale,
+        cfg=CMPConfig(engine=args.engine),
         jobs=args.jobs,
         timeout=args.timeout,
         checkpoint=args.checkpoint,

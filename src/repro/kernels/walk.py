@@ -1,0 +1,191 @@
+"""The replacement walk as flat array slices.
+
+A miss's candidate tree is consumed in exactly three ways: first-empty
+selection, victim selection among the resident candidates, and the
+relocation chain of the chosen node. None of that needs per-candidate
+Python objects — a walk is four parallel arrays (slot, resident address,
+level, parent index) plus scalar totals.
+
+Candidate *order* is load-bearing: the reference controller's
+first-empty and first-wins-victim scans both resolve ties by position in
+the list, so :class:`ZWalk` emits candidates in the reference BFS order
+— level by level, frontier nodes in discovery order, child ways
+ascending — and the engine's argmin/argmax-based scans inherit the same
+tie-breaking. Ancestor-path validity (a relocation path must not revisit
+a position) is the vectorized equivalent of the reference's inline
+ancestor scan; walk repeats are counted as notes whose position was
+already seen, i.e. ``candidates - distinct positions``.
+
+Only the configurations the turbo engine supports appear here: BFS
+strategy, no repeat filter, no candidate limit (``try_build_turbo``
+falls back to the reference engine otherwise), which also means walks
+are never truncated.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.hashing.base import HashFunction
+from repro.kernels.h3 import VectorHash, vector_hashes
+
+
+class WalkResult:
+    """One miss's candidates as parallel array views (do not retain)."""
+
+    __slots__ = ("slots", "addrs", "levels", "parents", "valid", "tag_reads", "repeats")
+
+    slots: np.ndarray
+    addrs: np.ndarray
+    levels: np.ndarray
+    parents: np.ndarray
+    valid: np.ndarray
+    tag_reads: int
+    repeats: int
+
+    def __init__(
+        self,
+        slots: np.ndarray,
+        addrs: np.ndarray,
+        levels: np.ndarray,
+        parents: np.ndarray,
+        valid: np.ndarray,
+        tag_reads: int,
+        repeats: int,
+    ) -> None:
+        self.slots = slots
+        self.addrs = addrs
+        self.levels = levels
+        self.parents = parents
+        self.valid = valid
+        self.tag_reads = tag_reads
+        self.repeats = repeats
+
+
+class SetWalk:
+    """Set-associative candidates: the W slots of the indexed set."""
+
+    def __init__(self, num_ways: int, lines_per_way: int, index_hash: HashFunction) -> None:
+        self._hash = index_hash
+        self._way_base = np.arange(num_ways, dtype=np.int64) * lines_per_way
+        self._levels = np.zeros(num_ways, dtype=np.int64)
+        self._parents = np.full(num_ways, -1, dtype=np.int64)
+        self._valid = np.ones(num_ways, dtype=bool)
+        self._num_ways = num_ways
+
+    def collect(self, address: int, tags: np.ndarray) -> WalkResult:
+        """The indexed set's candidates for one miss."""
+        slots = self._way_base + self._hash(address)
+        return WalkResult(
+            slots=slots,
+            addrs=tags[slots],
+            levels=self._levels,
+            parents=self._parents,
+            valid=self._valid,
+            tag_reads=self._num_ways,
+            repeats=0,
+        )
+
+
+class ZWalk:
+    """Breadth-first zcache walk over the dense tag mirror."""
+
+    def __init__(
+        self,
+        num_ways: int,
+        lines_per_way: int,
+        levels: int,
+        hashes: Sequence[HashFunction],
+    ) -> None:
+        self.num_ways = num_ways
+        self.lines_per_way = lines_per_way
+        self.levels = levels
+        self.hashes = list(hashes)
+        self.vhashes: list[VectorHash] = vector_hashes(hashes)
+        self._ways = np.arange(num_ways, dtype=np.int64)
+        self._way_base = self._ways * lines_per_way
+        # Worst-case candidate count: R = W * sum (W-1)^l (no repeats
+        # pruned — repeated positions stay in the reference list too).
+        r_max = num_ways * sum((num_ways - 1) ** l for l in range(levels))
+        self._slots = np.empty(r_max, dtype=np.int64)
+        self._addrs = np.empty(r_max, dtype=np.int64)
+        self._levels_buf = np.empty(r_max, dtype=np.int64)
+        self._parents = np.empty(r_max, dtype=np.int64)
+        self._valid = np.empty(r_max, dtype=bool)
+
+    def collect(self, address: int, tags: np.ndarray) -> WalkResult:
+        """All R candidates of one miss, in reference BFS order."""
+        ways = self.num_ways
+        slots, addrs = self._slots, self._addrs
+        level_buf, parents, valid = self._levels_buf, self._parents, self._valid
+
+        # Level 0: one home position per way (ways differ, so no repeats).
+        idx0 = np.fromiter(
+            (h(address) for h in self.hashes), dtype=np.int64, count=ways
+        )
+        slots[:ways] = self._way_base + idx0
+        addrs[:ways] = tags[slots[:ways]]
+        level_buf[:ways] = 0
+        parents[:ways] = -1
+        valid[:ways] = True
+        count = ways
+
+        occupied = addrs[:ways] >= 0
+        f_addrs = addrs[:ways][occupied]
+        f_ways = self._ways[occupied]
+        f_idx = np.nonzero(occupied)[0].astype(np.int64)
+
+        for level in range(1, self.levels):
+            if len(f_addrs) == 0:
+                break
+            f = len(f_addrs)
+            # Index of every frontier address under every way's hash,
+            # then drop each node's own way: children come out node-major
+            # with ways ascending — the reference expansion order.
+            idx_matrix = np.stack(
+                [vh.indices(f_addrs) for vh in self.vhashes], axis=1
+            )
+            keep = np.ones((f, ways), dtype=bool)
+            keep[np.arange(f), f_ways] = False
+            child_way = np.broadcast_to(self._ways, (f, ways))[keep]
+            child_idx = idx_matrix[keep]
+            child_parent = np.repeat(f_idx, ways - 1)
+            child_slots = child_way * self.lines_per_way + child_idx
+            child_addrs = tags[child_slots]
+
+            # A valid relocation path never revisits a position: compare
+            # each child's slot against its whole ancestor chain.
+            child_valid = np.ones(len(child_slots), dtype=bool)
+            anc = child_parent.copy()
+            while True:
+                live = anc >= 0
+                if not live.any():
+                    break
+                child_valid[live] &= child_slots[live] != slots[anc[live]]
+                anc[live] = parents[anc[live]]
+
+            n = len(child_slots)
+            slots[count:count + n] = child_slots
+            addrs[count:count + n] = child_addrs
+            level_buf[count:count + n] = level
+            parents[count:count + n] = child_parent
+            valid[count:count + n] = child_valid
+
+            expandable = child_valid & (child_addrs >= 0)
+            f_addrs = child_addrs[expandable]
+            f_ways = child_way[expandable]
+            f_idx = (count + np.nonzero(expandable)[0]).astype(np.int64)
+            count += n
+
+        distinct = len(np.unique(slots[:count]))
+        return WalkResult(
+            slots=slots[:count],
+            addrs=addrs[:count],
+            levels=level_buf[:count],
+            parents=parents[:count],
+            valid=valid[:count],
+            tag_reads=count,
+            repeats=count - distinct,
+        )

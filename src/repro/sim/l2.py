@@ -139,6 +139,7 @@ class BankedL2:
                     policy,
                     name=f"L2b{b}",
                     obs=obs.scoped(f"bank{b}") if obs is not None else None,
+                    engine=cfg.engine,
                 )
             )
         # Port-level counters (demand + writeback traffic per bank); the
@@ -151,8 +152,13 @@ class BankedL2:
         self._c_writeback_misses = self.metrics.counter("writeback_misses")
         # attr -> the banks' Counter objects, lazily built: the timing
         # model polls aggregates like `walk_tag_reads` per access, so
-        # `total()` must not re-resolve counters every call.
+        # `total()` must not re-resolve counters every call. A bank whose
+        # stats object is swapped mid-run (registry re-scoping) would
+        # strand the memoized refs on the orphaned counters, so every
+        # bank invalidates the memo when that happens.
         self._total_cache: dict[str, list] = {}
+        for bank in self.banks:
+            bank.add_stats_listener(self._total_cache.clear)
 
     @property
     def bank_accesses(self) -> list[int]:

@@ -1,0 +1,18 @@
+"""ZS006 fixture: kernel fold points that overwrite counters.
+
+Must trip ONLY ZS006 (lives under a ``kernels`` path component so the
+fold-point arm of the rule applies). A vectorized kernel computes a
+batch delta and must fold it additively into the registered Counter;
+these assignments discard whatever the counter already held.
+"""
+
+
+class BadFoldKernel:
+    def __init__(self, counter, stats_counters):
+        self._c_hits = counter
+        self._sc = stats_counters
+
+    def fold(self, batch_hits, batch_reads):
+        self._c_hits.value = batch_hits  # ZS006: overwrite at a fold point
+        self._sc["tag_reads"].value = batch_reads  # ZS006: same, via dict
+        return self._c_hits.value

@@ -24,6 +24,7 @@ FIXTURE_CODES = {
     "core/zs004_dataclass_slots.py": "ZS004",
     "zs005_wall_clock.py": "ZS005",
     "core/zs006_counter_bypass.py": "ZS006",
+    "kernels/zs006_counter_fold.py": "ZS006",
 }
 
 
@@ -297,6 +298,38 @@ class TestZS006CounterBypass:
 
     def test_non_counter_attribute_clean(self):
         assert lint_core("self.queueing_cycles += delay\n") == set()
+
+
+def lint_kernels(text: str) -> set[str]:
+    """Codes for a snippet placed under a kernels/ path (fold-point scope)."""
+    return {
+        f.code
+        for f in LintEngine().lint_text(text, "src/repro/kernels/x.py")
+    }
+
+
+class TestZS006KernelFoldPoints:
+    def test_value_overwrite_flagged(self):
+        assert lint_kernels("self._c_hits.value = batch\n") == {"ZS006"}
+
+    def test_counters_dict_overwrite_flagged(self):
+        assert lint_kernels('sc["hits"].value = batch\n') == {"ZS006"}
+
+    def test_additive_fold_clean(self):
+        assert lint_kernels("self._c_hits.value += batch\n") == set()
+
+    def test_counter_ref_rebind_clean(self):
+        # Rebinding the counter *reference* (stats-swap listeners) is
+        # not a fold overwrite.
+        assert lint_kernels("self._c_hits = cache._c_hits\n") == set()
+
+    def test_value_overwrite_outside_kernels_not_flagged(self):
+        # Resetting a counter in core/ (e.g. epoch rollover) is a
+        # legitimate overwrite; the fold-point arm is kernels-only.
+        assert lint_core("self._c_hits.value = 0\n") == set()
+
+    def test_facade_increment_still_flagged_in_kernels(self):
+        assert lint_kernels("self.stats.hits += 1\n") == {"ZS006"}
 
     def test_non_self_plain_attribute_clean(self):
         assert lint_core("repl.tag_reads += 1\n") == set()

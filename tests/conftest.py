@@ -1,0 +1,55 @@
+"""Shared pytest hooks for the test tree.
+
+``--update-goldens`` regenerates the pinned JSON files under
+``tests/goldens/`` instead of comparing against them; run it after an
+*intentional* behaviour change, inspect the diff, and commit the new
+goldens alongside the change that moved them.
+"""
+
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from current behaviour",
+    )
+
+
+@pytest.fixture
+def golden(request):
+    """Compare-or-record helper for golden-file tests.
+
+    Usage: ``golden("name", payload)`` — asserts ``payload`` round-trips
+    exactly against ``tests/goldens/name.json``, or rewrites the file
+    when ``--update-goldens`` is given. Payloads must be JSON-native
+    (floats compare after one encode/decode round-trip, so values are
+    pinned to full IEEE precision via repr).
+    """
+    import json
+
+    update = request.config.getoption("--update-goldens")
+
+    def check(name: str, payload):
+        path = GOLDEN_DIR / f"{name}.json"
+        if update:
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            return
+        if not path.exists():
+            pytest.fail(
+                f"golden file {path} missing; run pytest --update-goldens"
+            )
+        expected = json.loads(path.read_text())
+        got = json.loads(json.dumps(payload))
+        assert got == expected, (
+            f"{name} diverged from its golden file; if the change is "
+            f"intentional, regenerate with --update-goldens and commit"
+        )
+
+    return check

@@ -1,0 +1,52 @@
+"""Golden-file regression tests for the paper's headline curves.
+
+The differential harness proves turbo == reference *today*; these
+goldens pin the shared behaviour over *time*, so a refactor that shifts
+either engine's numerics (RNG draws, priority normalisation, CDF
+evaluation) fails loudly instead of silently publishing different
+curves. Scales are reduced; values are exact IEEE floats (JSON repr
+round-trip), not tolerances.
+"""
+
+import pytest
+
+from repro.experiments import fig2, fig3
+from repro.experiments.runner import ExperimentScale
+
+FIG2_KW = dict(cache_blocks=256, accesses=8000, seed=0)
+#: sparse probe of the 101-point CDF grid: ends, quartiles, and some
+#: interior structure
+FIG2_PROBE = (0, 10, 25, 50, 75, 90, 100)
+
+
+def _fig2_payload(engine):
+    result = fig2.run(engine=engine, **FIG2_KW)
+    payload = {"xs": [float(result.xs[i]) for i in FIG2_PROBE]}
+    for n, (cdf, ks) in sorted(result.simulated.items()):
+        payload[f"n{n}"] = {
+            "cdf": [float(cdf[i]) for i in FIG2_PROBE],
+            "ks": float(ks),
+        }
+    return payload
+
+
+@pytest.mark.parametrize("engine", ["reference", "turbo"])
+def test_fig2_cdf_golden(golden, engine):
+    """Both engines must reproduce the same pinned Fig. 2 CDF points."""
+    golden("fig2_cdf", _fig2_payload(engine))
+
+
+def test_fig3_curves_golden(golden):
+    scale = ExperimentScale(instructions_per_core=300, workloads=("canneal",))
+    cells = fig3.run(scale=scale)
+    payload = {}
+    for cell in cells:
+        d = cell.distribution
+        payload[f"{cell.design}/{cell.workload}"] = {
+            "candidates": cell.candidates,
+            "evictions": len(d),
+            "mean": d.mean(),
+            "ks": d.ks_to_uniformity(cell.candidates),
+        }
+    assert payload, "fig3 tiny scale produced no cells"
+    golden("fig3_curves", payload)

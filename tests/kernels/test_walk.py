@@ -1,0 +1,123 @@
+"""Walk kernels must emit the reference candidate list, order included."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.controller import Cache
+from repro.core.setassoc import SetAssociativeArray
+from repro.core.skew import SkewAssociativeArray
+from repro.core.zcache import ZCacheArray
+from repro.kernels.walk import SetWalk, ZWalk
+from repro.replacement.lru import LRU
+
+
+def _populate(array, seed, accesses=600, footprint=4096):
+    """Fill the array through a reference-engine cache, return the cache."""
+    cache = Cache(array, LRU(), name="walktest")
+    rng = random.Random(seed)
+    for _ in range(accesses):
+        cache.access(rng.randrange(footprint))
+    return cache, rng
+
+
+def _tags_mirror(array):
+    tags = np.full(array.num_blocks, -1, dtype=np.int64)
+    for way, lines in enumerate(array._lines):
+        for index, addr in enumerate(lines):
+            if addr is not None:
+                tags[way * array.lines_per_way + index] = addr
+    return tags
+
+
+def _reference_rows(array, address):
+    """(slot, addr, level, parent_slot, valid) per reference candidate."""
+    repl = array.build_replacement(address)
+    rows = []
+    for cand in repl.candidates:
+        slot = cand.position.way * array.lines_per_way + cand.position.index
+        if cand.parent is None:
+            parent_slot = -1
+        else:
+            parent_slot = (
+                cand.parent.position.way * array.lines_per_way
+                + cand.parent.position.index
+            )
+        addr = -1 if cand.address is None else cand.address
+        rows.append((slot, addr, cand.level, parent_slot, bool(cand.valid)))
+    return rows, repl.tag_reads
+
+
+def _kernel_rows(wr):
+    parent_slots = np.where(wr.parents >= 0, wr.slots[wr.parents], -1)
+    return (
+        list(
+            zip(
+                wr.slots.tolist(),
+                wr.addrs.tolist(),
+                wr.levels.tolist(),
+                parent_slots.tolist(),
+                [bool(v) for v in wr.valid],
+            )
+        ),
+        wr.tag_reads,
+    )
+
+
+def _assert_walks_match(array, walk, rng, misses=200, footprint=4096):
+    tags = _tags_mirror(array)
+    checked = 0
+    while checked < misses:
+        address = rng.randrange(footprint, 2 * footprint)
+        if address in array._pos:
+            continue
+        ref_rows, ref_reads = _reference_rows(array, address)
+        got_rows, got_reads = _kernel_rows(walk.collect(address, tags))
+        assert got_rows == ref_rows
+        assert got_reads == ref_reads
+        checked += 1
+
+
+@pytest.mark.parametrize("hash_kind", ["bitsel", "h3"])
+def test_setwalk_matches_reference(hash_kind):
+    array = SetAssociativeArray(4, 64, hash_kind=hash_kind, hash_seed=1)
+    _cache, rng = _populate(array, seed=1)
+    walk = SetWalk(array.num_ways, array.lines_per_way, array.index_hash)
+    _assert_walks_match(array, walk, rng)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: SkewAssociativeArray(4, 64, hash_seed=2),
+        lambda: ZCacheArray(4, 64, levels=2, hash_seed=3),
+        lambda: ZCacheArray(4, 16, levels=3, hash_seed=4),
+        lambda: ZCacheArray(2, 32, levels=4, hash_seed=5),
+    ],
+)
+def test_zwalk_matches_reference(make):
+    array = make()
+    _cache, rng = _populate(array, seed=6)
+    walk = ZWalk(array.num_ways, array.lines_per_way, array.levels, array.hashes)
+    _assert_walks_match(array, walk, rng)
+
+
+def test_zwalk_counts_repeats_like_reference():
+    """A tiny zcache forces repeated positions; counts must agree."""
+    array = ZCacheArray(4, 4, levels=3, hash_seed=7)
+    _cache, rng = _populate(array, seed=7, accesses=200, footprint=64)
+    walk = ZWalk(array.num_ways, array.lines_per_way, array.levels, array.hashes)
+    tags = _tags_mirror(array)
+    saw_repeat = False
+    for _ in range(200):
+        address = rng.randrange(64, 128)
+        if address in array._pos:
+            continue
+        repl = array.build_replacement(address)
+        positions = [c.position for c in repl.candidates]
+        ref_repeats = len(positions) - len(set(positions))
+        wr = walk.collect(address, tags)
+        assert wr.repeats == ref_repeats
+        saw_repeat = saw_repeat or wr.repeats > 0
+    assert saw_repeat, "configuration never produced a walk repeat"

@@ -105,6 +105,23 @@ class TestAggregates:
         assert l2.hits == 64
         assert l2.misses == 64
 
+    def test_total_tracks_bank_stats_swap(self):
+        # Regression: total() memoizes per-bank counter refs; swapping a
+        # bank's stats object mid-run (registry re-scoping) must clear
+        # the memo or aggregates keep reading the orphaned counters.
+        from repro.core.controller import CacheStats
+
+        l2 = BankedL2(small_cfg())
+        for addr in range(64):
+            l2.access(addr, False)
+        assert l2.accesses == 64  # memo now holds the original counters
+        for bank in l2.banks:
+            bank.stats = CacheStats()
+        assert l2.accesses == 0
+        for addr in range(16):
+            l2.access(addr, False)
+        assert l2.accesses == 16
+
     def test_walk_stats_for_zcache_only(self):
         sa = BankedL2(small_cfg())
         assert sa.walk_stats() is None
