@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
 """CI guard: ``lint --deep`` stays clean, fast, and incremental.
 
-Three claims are pinned on every push:
+Four claims are pinned on every push:
 
-1. **Zero findings** — ``src/repro`` is deep-clean under ZS101-ZS104
-   (the enforcement half of the ZProve deal, same as the per-file
-   self-lint).
+1. **Zero findings** — ``src/repro`` is deep-clean under ZS101-ZS108,
+   effect rules included (the enforcement half of the ZProve deal,
+   same as the per-file self-lint).
 2. **Cold budget** — a from-scratch whole-program run fits inside a
    wall-time budget, normalized by the same pure-Python calibration
    loop ``scripts/obs_guard.py`` uses, so the bar is meaningful on
@@ -15,6 +15,12 @@ Three claims are pinned on every push:
    than the cold one. This is the incrementality contract: if a
    refactor accidentally invalidates the cache on unchanged trees, CI
    fails here rather than just getting slower.
+4. **Effect pass engaged** — the default rule set the budgets price in
+   includes the interprocedural effect rules (ZS105-ZS108), and a
+   cache written under a *different* rule set is rejected wholesale: a
+   run against a doctored ``rules_hash`` must re-analyze every module.
+   Without this, editing a rule could silently replay stale findings
+   at warm-run speed.
 
 Usage::
 
@@ -64,6 +70,39 @@ def timed_deep_run(target: Path, cache_path: Path):
     t0 = time.perf_counter()
     report, stats = run_deep([target], cache_path=cache_path)
     return time.perf_counter() - t0, report, stats
+
+
+def check_effect_pass(target: Path, cache_path: Path) -> list[str]:
+    """Claim 4: effect rules in the default set; rules-hash invalidation."""
+    import json
+
+    from repro.analysis.semantic import default_deep_rules, rules_signature
+
+    failures: list[str] = []
+    codes = {rule.code for rule in default_deep_rules()}
+    effect_codes = {"ZS105", "ZS106", "ZS107", "ZS108"}
+    if not effect_codes <= codes:
+        failures.append(
+            f"effect rules missing from the default deep set: "
+            f"{sorted(effect_codes - codes)}"
+        )
+
+    payload = json.loads(cache_path.read_text(encoding="utf-8"))
+    if payload.get("rules_hash") != rules_signature():
+        failures.append("cache was not stamped with the active rules hash")
+    payload["rules_hash"] = "0" * 16
+    cache_path.write_text(json.dumps(payload), encoding="utf-8")
+    stale_s, _, stats = timed_deep_run(target, cache_path)
+    print(
+        f"deep-lint-budget: rules-hash invalidation {stale_s:.3f}s — "
+        f"{stats.render()}"
+    )
+    if stats.modules_analyzed != stats.modules_total:
+        failures.append(
+            "doctored rules hash did not cold-start the analysis: "
+            f"{stats.modules_analyzed}/{stats.modules_total} analyzed"
+        )
+    return failures
 
 
 def main() -> int:
@@ -129,6 +168,8 @@ def main() -> int:
                 f"warm run over budget: ratio {warm_ratio:.2f} > "
                 f"{WARM_BUDGET_RATIO}"
             )
+
+        failures.extend(check_effect_pass(args.target, cache_path))
 
     if failures:
         for failure in failures:

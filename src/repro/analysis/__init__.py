@@ -1,17 +1,24 @@
-"""Correctness tooling: static lint rules + runtime invariant sanitizer.
+"""Correctness tooling: specs, lint rules, sanitizer, model checker.
 
-Two independent prongs guard the simulator's invariants:
+One declarative invariant registry (:mod:`repro.analysis.spec`) backs
+three independent enforcement prongs:
 
 - :mod:`repro.analysis.lint` — ZSan, a custom AST lint engine with
   repository-specific rules (seeded-randomness discipline, float
   equality, the replacement-policy contract, hot-path dataclass slots,
   wall-clock/global-state hygiene). Run via ``zcache-repro lint``.
+  :mod:`repro.analysis.semantic` adds the ZProve whole-program pass
+  (ZS101–ZS108, including the effect/typestate rules) behind
+  ``lint --deep``.
 - :mod:`repro.analysis.sanitizer` — :class:`SanitizedArray`, a runtime
-  proxy that re-verifies walk-tree well-formedness, map↔array
-  synchronisation, tag uniqueness, and block conservation after every
-  array operation. Run via ``zcache-repro check --sanitize``.
+  proxy driving the registry invariants after every array operation
+  along one concrete run. Run via ``zcache-repro check --sanitize``.
+- :mod:`repro.analysis.modelcheck` — an exhaustive bounded model
+  checker enumerating *every* access sequence over tiny geometries,
+  checking the registry invariants plus reference↔turbo bit-identity
+  each step. Run via ``zcache-repro check --model``.
 
-See the "Analysis & sanitizer layer" section of
+See ``docs/specs.md`` and the "Analysis & sanitizer layer" section of
 ``docs/architecture.md``.
 """
 
@@ -23,15 +30,27 @@ from repro.analysis.sanitizer import (
     make_wrapper,
     sanitize,
 )
+from repro.analysis.spec import (
+    INVARIANT_REGISTRY,
+    Invariant,
+    default_invariants,
+    invariants_for,
+    register_invariant,
+)
 
 __all__ = [
     "Finding",
+    "INVARIANT_REGISTRY",
+    "Invariant",
     "LintEngine",
     "LintReport",
     "LintRule",
     "InvariantViolation",
     "SanitizedArray",
     "VIOLATION_KINDS",
+    "default_invariants",
+    "invariants_for",
+    "register_invariant",
     "sanitize",
     "make_wrapper",
 ]

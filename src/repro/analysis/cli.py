@@ -45,7 +45,7 @@ def _split_codes(
 def run_lint(argv: list[str]) -> int:
     """``zcache-repro lint [paths...]`` — run ZSan; exit 1 on findings.
 
-    ``--deep`` adds the ZProve whole-program rules (ZS101–ZS104) on
+    ``--deep`` adds the ZProve whole-program rules (ZS101–ZS108) on
     top of the per-file rules; selecting a deep code enables the deep
     pass implicitly. ``--fix`` applies the mechanical repairs first
     (ZS004 ``slots=True`` insertion, ZS001 ``from random import``
@@ -56,7 +56,7 @@ def run_lint(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="zcache-repro lint",
         description="Run the ZSan AST lint rules (ZS001-ZS006) and, "
-        "with --deep, the ZProve whole-program rules (ZS101-ZS104) "
+        "with --deep, the ZProve whole-program rules (ZS101-ZS108) "
         "over Python sources. Exits non-zero when any finding is "
         "reported.",
     )
@@ -82,7 +82,7 @@ def run_lint(argv: list[str]) -> int:
     )
     parser.add_argument(
         "--deep", action="store_true",
-        help="also run the whole-program semantic rules (ZS101-ZS104)",
+        help="also run the whole-program semantic rules (ZS101-ZS108)",
     )
     parser.add_argument(
         "--fix", action="store_true",
@@ -216,7 +216,10 @@ def run_check(argv: list[str]) -> int:
     validation) as the workload. With ``--sanitize``, every array is
     wrapped in :class:`SanitizedArray`, a sanitized zcache smoke runs
     first, and the report includes the sanitizer overhead relative to
-    an unsanitized baseline run.
+    an unsanitized baseline run. With ``--model``, the exhaustive
+    bounded model checker runs *instead*: every access sequence to
+    ``--model-depth`` over the tiny default geometries, checking all
+    registry invariants plus reference↔turbo bit-identity.
     """
     parser = argparse.ArgumentParser(
         prog="zcache-repro check",
@@ -225,6 +228,15 @@ def run_check(argv: list[str]) -> int:
     parser.add_argument(
         "--sanitize", action="store_true",
         help="wrap arrays in SanitizedArray and verify invariants",
+    )
+    parser.add_argument(
+        "--model", action="store_true",
+        help="run the exhaustive bounded model checker over the tiny "
+        "default geometries instead of the workload suite",
+    )
+    parser.add_argument(
+        "--model-depth", type=int, default=6, metavar="N",
+        help="access-sequence depth for --model (default 6)",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -242,6 +254,15 @@ def run_check(argv: list[str]) -> int:
         help="full-state scan cadence, in commits (default 64)",
     )
     args = parser.parse_args(argv)
+
+    if args.model:
+        from repro.analysis.modelcheck import run_model_check
+
+        t0 = time.perf_counter()
+        result = run_model_check(depth=args.model_depth)
+        print(result.render())
+        print(f"model check: {time.perf_counter() - t0:.1f}s")
+        return 0 if result.ok else 1
 
     from repro.experiments import fig2
 

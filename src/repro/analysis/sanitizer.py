@@ -2,28 +2,32 @@
 
 :class:`SanitizedArray` wraps any :class:`~repro.core.base.CacheArray`
 and re-verifies, from the outside, the invariants the zcache's
-correctness rests on:
+correctness rests on. The invariants themselves live in the declarative
+registry (:mod:`repro.analysis.spec`); this module is the thin runtime
+driver that builds the scope-appropriate check context around every
+intercepted operation and raises on the first violated invariant:
 
-- **Walk well-formedness** after every ``build_replacement`` /
+- **walk** scope after every ``build_replacement`` /
   ``build_reinsertion``: ancestor paths are acyclic, levels increase by
   exactly one along parent links, a valid candidate's path never
-  revisits a position (the ``Candidate.valid`` contract — a repeat
-  "would corrupt relocation"), recorded addresses match the array, and
-  for hashed arrays every candidate sits at the hash of the relevant
+  revisits a position, recorded addresses match the array, and for
+  hashed arrays every candidate sits at the hash of the relevant
   address.
-- **State consistency** after every mutation: the address→position map
-  and the dense per-way line arrays agree exactly, no tag appears
-  twice, and for hashed arrays every resident block sits at its way's
-  hash of its address.
-- **Conservation** across ``commit_replacement``: the resident set
-  afterwards is exactly the resident set before, minus the evicted
-  block, plus the incoming one — relocations move blocks, they never
-  create or destroy them.
+- **commit** scope after every successful ``commit_replacement``:
+  block conservation, the incoming block at the path root, relocated
+  blocks one step down their path.
+- **phase** scope around every commit *attempt* (including
+  ``commit_reinsertion``): a commit over a stale path must be rejected,
+  and a rejected commit must not corrupt state — the two-phase
+  protocol's staleness/atomicity contract.
+- **state** scope every ``deep_check_interval`` mutations and on
+  :meth:`~SanitizedArray.final_check`: map↔lines sync, tag uniqueness,
+  hash placement.
 
 Violations raise :class:`InvariantViolation`, a structured error
-carrying the violated invariant's ``kind``, the experiment ``seed``,
-and the tail of the access trace, so a failure can be replayed
-deterministically.
+carrying the violated invariant's ``kind`` and registry ``name``, the
+experiment ``seed``, and the tail of the access trace, so a failure can
+be replayed deterministically.
 
 Cost model: per-operation checks are O(walk) — proportional to work the
 array already did — while the O(cache) deep scan runs every
@@ -34,30 +38,58 @@ budget while still bounding how long a corruption can stay latent.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Optional, Tuple
 
+from repro.analysis.spec import (
+    SCOPE_COMMIT,
+    SCOPE_EVICT,
+    SCOPE_PHASE,
+    SCOPE_STATE,
+    SCOPE_WALK,
+    VIOLATION_KINDS,
+    CommitCheck,
+    EvictCheck,
+    PhaseCheck,
+    StateCheck,
+    WalkCheck,
+    invariants_for,
+    stale_path_detail,
+)
 from repro.core.base import (
     CacheArray,
     Candidate,
     CommitResult,
-    Position,
     Replacement,
 )
 
-#: The invariant classes a :class:`SanitizedArray` distinguishes.
-VIOLATION_KINDS = (
-    "walk-cycle",
-    "walk-level",
-    "walk-parent",
-    "walk-repeat",
-    "walk-stale",
-    "walk-bounds",
-    "walk-hash",
-    "map-desync",
-    "duplicate-tag",
-    "hash-placement",
-    "conservation",
-)
+__all__ = [
+    "VIOLATION_KINDS",
+    "InvariantViolation",
+    "SanitizedArray",
+    "make_wrapper",
+    "sanitize",
+]
+
+# Scope slices of the registry, resolved once at import (the registry
+# is fully populated by the spec module's own import).
+def _bind(scope: str) -> Tuple[Tuple[Callable[..., Optional[str]], str, str], ...]:
+    """Pre-bound ``(check, kind, name)`` triples for one scope.
+
+    The walk checks run per candidate per miss; resolving three
+    dataclass attributes per invariant per candidate is a measurable
+    slice of the sanitized hot loop, so the driver binds them once at
+    import.
+    """
+    return tuple(
+        (inv.check, inv.kind, inv.name) for inv in invariants_for(scope)
+    )
+
+
+_WALK = _bind(SCOPE_WALK)
+_COMMIT = _bind(SCOPE_COMMIT)
+_EVICT = _bind(SCOPE_EVICT)
+_STATE = _bind(SCOPE_STATE)
+_PHASE = _bind(SCOPE_PHASE)
 
 
 class InvariantViolation(RuntimeError):
@@ -66,10 +98,13 @@ class InvariantViolation(RuntimeError):
     Attributes
     ----------
     kind:
-        One of :data:`VIOLATION_KINDS` — the invariant class that
-        failed (mutation tests key on this).
+        One of :data:`~repro.analysis.spec.VIOLATION_KINDS` — the
+        invariant class that failed (mutation tests key on this).
     detail:
         Human-readable specifics.
+    invariant:
+        The registry name of the violated
+        :class:`~repro.analysis.spec.Invariant`, when known.
     seed:
         The experiment seed supplied to the wrapper, for replay.
     trace:
@@ -81,6 +116,7 @@ class InvariantViolation(RuntimeError):
         kind: str,
         detail: str,
         *,
+        invariant: Optional[str] = None,
         seed: Optional[int] = None,
         trace: tuple = (),
     ) -> None:
@@ -88,12 +124,15 @@ class InvariantViolation(RuntimeError):
             raise ValueError(f"unknown violation kind: {kind!r}")
         self.kind = kind
         self.detail = detail
+        self.invariant = invariant
         self.seed = seed
         self.trace = tuple(trace)
         super().__init__(self._render())
 
     def _render(self) -> str:
         lines = [f"[{self.kind}] {self.detail}"]
+        if self.invariant is not None:
+            lines.append(f"invariant: {self.invariant}")
         if self.seed is not None:
             lines.append(f"replay: seed={self.seed}")
         if self.trace:
@@ -103,20 +142,6 @@ class InvariantViolation(RuntimeError):
             )
             lines.append(f"trace tail ({len(self.trace)} events): {tail}")
         return "\n".join(lines)
-
-
-def _iter_path(cand: Candidate, limit: int) -> Iterator[Candidate]:
-    """Walk parent links from ``cand`` to the root, yielding each node.
-
-    Stops after ``limit`` nodes so a corrupted cyclic tree cannot hang
-    the checker; callers detect the truncation as a cycle.
-    """
-    node: Optional[Candidate] = cand
-    for _ in range(limit):
-        if node is None:
-            return
-        yield node
-        node = node.parent
 
 
 class SanitizedArray:
@@ -173,8 +198,17 @@ class SanitizedArray:
         return self._inner
 
     def __getattr__(self, name: str) -> Any:
-        """Forward anything not intercepted to the inner array."""
-        return getattr(self._inner, name)
+        """Forward anything not intercepted to the inner array.
+
+        The ``__dict__`` lookup (not ``self._inner``) keeps copy/pickle
+        reconstruction safe: those protocols probe dunders on a blank
+        instance before any state is restored, and recursing into
+        ``__getattr__`` for ``_inner`` itself would never terminate.
+        """
+        inner = self.__dict__.get("_inner")
+        if inner is None:
+            raise AttributeError(name)
+        return getattr(inner, name)
 
     def __setattr__(self, name: str, value: Any) -> None:
         """Route attribute writes to the inner array when it owns them.
@@ -203,10 +237,24 @@ class SanitizedArray:
         if len(self._trace) > self._trace_limit:
             del self._trace[: -self._trace_limit]
 
-    def _fail(self, kind: str, detail: str) -> None:
+    def _fail(
+        self, kind: str, detail: str, *, invariant: Optional[str] = None
+    ) -> None:
         raise InvariantViolation(
-            kind, detail, seed=self.seed, trace=tuple(self._trace)
+            kind, detail, invariant=invariant, seed=self.seed,
+            trace=tuple(self._trace),
         )
+
+    def _run(
+        self,
+        invariants: Tuple[Tuple[Callable[..., Optional[str]], str, str], ...],
+        ctx: object,
+    ) -> None:
+        """Evaluate registry invariants, raising on the first violation."""
+        for check, kind, name in invariants:
+            detail = check(ctx)
+            if detail is not None:
+                self._fail(kind, detail, invariant=name)
 
     # -- intercepted operations ----------------------------------------------
     def build_replacement(self, address: int) -> Replacement:
@@ -228,19 +276,35 @@ class SanitizedArray:
     ) -> CommitResult:
         """Commit, then verify conservation and relocation-path state."""
         self._note("commit", repl.incoming)
-        before = len(self._inner)
-        was_resident = repl.incoming in self._inner
-        result = self._inner.commit_replacement(repl, chosen)
+        inner = self._inner
+        before = len(inner)
+        was_resident = repl.incoming in inner
+        stale = stale_path_detail(inner, chosen)
+        try:
+            result = inner.commit_replacement(repl, chosen)
+        except RuntimeError as exc:
+            self._check_phase(repl, chosen, stale, exc, before, was_resident)
+            raise
         self._check_commit(repl, chosen, result, before, was_resident)
+        self._check_phase(repl, chosen, stale, None, before, was_resident)
         self._after_mutation()
         return result
 
     def commit_reinsertion(
         self, repl: Replacement, chosen: Candidate
     ) -> CommitResult:
-        """Commit a reinsertion move, then run the state checks."""
+        """Commit a reinsertion move, then run the phase/state checks."""
         self._note("commit-reinsert", repl.incoming)
-        result = self._inner.commit_reinsertion(repl, chosen)
+        inner = self._inner
+        before = len(inner)
+        was_resident = repl.incoming in inner
+        stale = stale_path_detail(inner, chosen)
+        try:
+            result = inner.commit_reinsertion(repl, chosen)
+        except RuntimeError as exc:
+            self._check_phase(repl, chosen, stale, exc, before, was_resident)
+            raise
+        self._check_phase(repl, chosen, stale, None, before, was_resident)
         self._after_mutation()
         return result
 
@@ -248,11 +312,7 @@ class SanitizedArray:
         """Forcibly evict, then verify the block is fully gone."""
         self._note("evict", address)
         self._inner.evict_address(address)
-        if self._inner.lookup(address) is not None:
-            self._fail(
-                "map-desync",
-                f"evicted block {address:#x} still resolves in the map",
-            )
+        self._run(_EVICT, EvictCheck(self._inner, address))
         self._after_mutation()
 
     # -- checks ----------------------------------------------------------------
@@ -267,93 +327,19 @@ class SanitizedArray:
         Public so tests can feed hand-corrupted trees directly.
         """
         self.checks_run += 1
-        cap = len(repl.candidates) + self._inner.num_ways + 1
-        hashes = getattr(self._inner, "hashes", None)
+        inner = self._inner
+        # Hoist the per-walk constants out of the per-candidate loop:
+        # this runs for every candidate of every miss.
+        cap = len(repl.candidates) + inner.num_ways + 1
+        hashes = getattr(inner, "hashes", None)
+        fail = self._fail
         for cand in repl.candidates:
-            self._check_candidate(repl, cand, cap, hashes)
-
-    def _check_candidate(
-        self,
-        repl: Replacement,
-        cand: Candidate,
-        cap: int,
-        hashes: Optional[list],
-    ) -> None:
-        pos = cand.position
-        if not (
-            0 <= pos.way < self._inner.num_ways
-            and 0 <= pos.index < self._inner.lines_per_way
-        ):
-            self._fail("walk-bounds", f"candidate position {pos} out of bounds")
-        # Parent-link structure: acyclic, levels decreasing by one.
-        seen: set[int] = set()
-        path = []
-        for node in _iter_path(cand, cap):
-            if id(node) in seen:
-                self._fail(
-                    "walk-cycle",
-                    f"ancestor chain of candidate at {pos} revisits a node "
-                    f"(level {node.level})",
-                )
-            seen.add(id(node))
-            path.append(node)
-        if path[-1].parent is not None:
-            self._fail(
-                "walk-cycle",
-                f"ancestor chain of candidate at {pos} exceeds "
-                f"{cap} nodes without reaching a root",
-            )
-        for node in path:
-            parent = node.parent
-            if parent is None:
-                if node.level != 0:
-                    self._fail(
-                        "walk-level",
-                        f"root candidate at {node.position} has level "
-                        f"{node.level}, expected 0",
-                    )
-            else:
-                if node.level != parent.level + 1:
-                    self._fail(
-                        "walk-level",
-                        f"candidate at {node.position} has level "
-                        f"{node.level} but its parent has level "
-                        f"{parent.level}",
-                    )
-                if parent.address is None:
-                    self._fail(
-                        "walk-parent",
-                        f"candidate at {node.position} expands an empty "
-                        f"slot at {parent.position}",
-                    )
-        if cand.valid:
-            positions = [node.position for node in path]
-            if len(set(positions)) != len(positions):
-                self._fail(
-                    "walk-repeat",
-                    f"valid candidate at {pos} has a relocation path that "
-                    "revisits a position (must be flagged invalid)",
-                )
-        # Recorded contents must match the array (walks do not mutate).
-        actual = self._inner._read(pos)
-        if actual != cand.address:
-            self._fail(
-                "walk-stale",
-                f"candidate records {cand.address!r} at {pos} but the "
-                f"array holds {actual!r}",
-            )
-        # Hash discipline: each candidate sits at the hash of the
-        # address whose relocation would land there.
-        if hashes is not None:
-            source = cand.parent.address if cand.parent else repl.incoming
-            if source is not None:
-                expected = hashes[pos.way](source)
-                if pos.index != expected:
-                    self._fail(
-                        "walk-hash",
-                        f"candidate at {pos} is not the way-{pos.way} hash "
-                        f"of {source:#x} (expected index {expected})",
-                    )
+            ctx = WalkCheck(inner, repl, cand, cap, hashes)
+            # _run inlined: one call frame per candidate adds up here.
+            for check, kind, name in _WALK:
+                detail = check(ctx)
+                if detail is not None:
+                    fail(kind, detail, invariant=name)
 
     def _check_commit(
         self,
@@ -364,95 +350,49 @@ class SanitizedArray:
         was_resident: bool,
     ) -> None:
         self.checks_run += 1
+        self._run(
+            _COMMIT,
+            CommitCheck(
+                self._inner, repl, chosen, result, len_before, was_resident
+            ),
+        )
+
+    def _check_phase(
+        self,
+        repl: Replacement,
+        chosen: Candidate,
+        stale: Optional[str],
+        error: Optional[BaseException],
+        len_before: int,
+        incoming_before: bool,
+    ) -> None:
+        """Run the two-phase staleness/atomicity invariants for one attempt.
+
+        A rejected commit (``error`` set) additionally gets a full state
+        scan: stale-path rejections are rare (``stale_retries`` counts
+        them), and the atomicity contract is precisely that a rejection
+        leaves a *consistent* array behind for the retry walk.
+        """
         inner = self._inner
-        # Conservation: installed +1, evicted -1 (when a block was evicted).
-        expected = len_before + (0 if was_resident else 1)
-        if result.evicted is not None:
-            expected -= 1
-        if len(inner) != expected:
-            self._fail(
-                "conservation",
-                f"resident count {len(inner)} after commit, expected "
-                f"{expected} (before={len_before}, "
-                f"evicted={result.evicted!r})",
-            )
-        if result.evicted is not None and inner.lookup(result.evicted) is not None:
-            self._fail(
-                "conservation",
-                f"evicted block {result.evicted:#x} is still resident",
-            )
-        # The incoming block must land at the relocation path's root.
-        root = chosen
-        for root in _iter_path(chosen, len(repl.candidates) + inner.num_ways + 1):
-            pass
-        pos = inner.lookup(repl.incoming)
-        if pos is None:
-            self._fail(
-                "conservation",
-                f"incoming block {repl.incoming:#x} not resident after commit",
-            )
-        elif pos != root.position:
-            self._fail(
-                "map-desync",
-                f"incoming block {repl.incoming:#x} at {pos}, expected the "
-                f"path root {root.position}",
-            )
-        # Every relocated block moved exactly one step down the path.
-        node = chosen
-        while node.parent is not None:
-            moved = node.parent.address
-            if moved is not None and inner.lookup(moved) != node.position:
-                self._fail(
-                    "map-desync",
-                    f"relocated block {moved:#x} is not at {node.position} "
-                    "after commit",
-                )
-            node = node.parent
+        ctx = PhaseCheck(
+            inner,
+            repl,
+            chosen,
+            stale_detail=stale,
+            error=error,
+            len_before=len_before,
+            len_after=len(inner),
+            incoming_resident_before=incoming_before,
+            incoming_resident_after=repl.incoming in inner,
+        )
+        self._run(_PHASE, ctx)
+        if error is not None:
+            self.deep_check()
 
     def deep_check(self) -> None:
         """Full O(cache) scan: map↔lines sync, tag uniqueness, hashing."""
         self.deep_scans += 1
-        inner = self._inner
-        seen: dict[int, Position] = {}
-        for way in range(inner.num_ways):
-            line = inner._lines[way]
-            for index in range(inner.lines_per_way):
-                addr = line[index]
-                if addr is None:
-                    continue
-                pos = Position(way, index)
-                if addr in seen:
-                    self._fail(
-                        "duplicate-tag",
-                        f"block {addr:#x} stored at both {seen[addr]} "
-                        f"and {pos}",
-                    )
-                seen[addr] = pos
-                mapped = inner._pos.get(addr)
-                if mapped != pos:
-                    self._fail(
-                        "map-desync",
-                        f"line {pos} holds {addr:#x} but the map says "
-                        f"{mapped!r}",
-                    )
-        stale = set(inner._pos) - set(seen)
-        if stale:
-            addr = next(iter(stale))
-            self._fail(
-                "map-desync",
-                f"map entry {addr:#x} -> {inner._pos[addr]} points at a "
-                "line that does not hold it",
-            )
-        hashes = getattr(inner, "hashes", None)
-        if hashes is not None:
-            for addr, pos in inner._pos.items():
-                expected = hashes[pos.way](addr)
-                if pos.index != expected:
-                    self._fail(
-                        "hash-placement",
-                        f"block {addr:#x} at index {pos.index} of way "
-                        f"{pos.way}, but hashes to {expected}",
-                    )
+        self._run(_STATE, StateCheck(self._inner))
 
     def final_check(self) -> None:
         """Deep scan to run once at end of experiment (always O(cache))."""

@@ -12,7 +12,11 @@ Layers (each its own module):
   reachability;
 - :mod:`repro.analysis.semantic.cache` — fingerprint-keyed incremental
   analysis cache;
-- :mod:`repro.analysis.semantic.deeprules` — the ZS101–ZS104 rules;
+- :mod:`repro.analysis.semantic.deeprules` — the rule registry and the
+  ZS101–ZS104 rules;
+- :mod:`repro.analysis.semantic.effects` — interprocedural effect
+  inference (array-state mutation, counter folds, RNG draws, raises)
+  and the ZS105–ZS108 effect/typestate rules;
 - :mod:`repro.analysis.semantic.model` — the
   :class:`~repro.analysis.semantic.model.SemanticModel` facade and the
   :func:`~repro.analysis.semantic.model.run_deep` driver behind
@@ -27,6 +31,11 @@ from repro.analysis.semantic.deeprules import (
     DeepRule,
     default_deep_rules,
     register_deep_rule,
+    rules_signature,
+)
+from repro.analysis.semantic.effects import (
+    EffectAnalysis,
+    FunctionEffects,
 )
 from repro.analysis.semantic.model import (
     DeepRunStats,
@@ -54,6 +63,8 @@ __all__ = [
     "DEEP_RULE_REGISTRY",
     "DeepRule",
     "DeepRunStats",
+    "EffectAnalysis",
+    "FunctionEffects",
     "FunctionInfo",
     "ImportedName",
     "ModuleGraph",
@@ -67,5 +78,6 @@ __all__ = [
     "func_key",
     "module_name_for",
     "register_deep_rule",
+    "rules_signature",
     "run_deep",
 ]

@@ -28,15 +28,26 @@ from typing import Dict, List, Optional, Union
 
 from repro.analysis.lint.engine import Finding
 
-#: bump when the deep-rule set or finding semantics change
-CACHE_VERSION = 2
+#: bump when the cache *format* or finding semantics change (rule-logic
+#: changes are caught by the ``rules_hash`` field instead)
+CACHE_VERSION = 3
 
 
 class AnalysisCache:
-    """Fingerprint-keyed store of per-module deep findings."""
+    """Fingerprint-keyed store of per-module deep findings.
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    ``rules_hash`` (see
+    :func:`repro.analysis.semantic.deeprules.rules_signature`) binds the
+    cache to the rule *logic* that produced it: a stored file written
+    under a different hash loads as empty, so editing a rule re-analyzes
+    every module even when no analyzed source changed.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], rules_hash: Optional[str] = None
+    ) -> None:
         self.path = Path(path)
+        self.rules_hash = rules_hash
         self._entries: Dict[str, dict] = {}
         self.hits = 0
         self.misses = 0
@@ -53,6 +64,11 @@ class AnalysisCache:
             return
         if payload.get("version") != CACHE_VERSION:
             return
+        if (
+            self.rules_hash is not None
+            and payload.get("rules_hash") != self.rules_hash
+        ):
+            return
         entries = payload.get("entries")
         if not isinstance(entries, dict):
             return
@@ -67,13 +83,15 @@ class AnalysisCache:
 
     def save(self) -> None:
         """Write the cache file (parents created as needed)."""
-        payload = {
+        payload: Dict[str, object] = {
             "version": CACHE_VERSION,
             "entries": {
                 module: self._entries[module]
                 for module in sorted(self._entries)
             },
         }
+        if self.rules_hash is not None:
+            payload["rules_hash"] = self.rules_hash
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.path.write_text(
             json.dumps(payload, indent=1) + "\n", encoding="utf-8"

@@ -1,4 +1,4 @@
-"""Deep (whole-program) lint rules: codes ZS101–ZS104.
+"""Deep (whole-program) lint rules: registry plus codes ZS101–ZS104.
 
 Where the classic ZSan rules (ZS001–ZS006) look at one file at a time,
 deep rules run against the :class:`~repro.analysis.semantic.model.
@@ -22,6 +22,10 @@ call graph:
   ``sim``, ``replacement``) must not keep module-level mutable
   globals; state belongs in objects threaded through calls.
 
+The effect/typestate rules (ZS105–ZS108) live in
+:mod:`repro.analysis.semantic.effects` and register here through the
+same decorator.
+
 Rules register via :func:`register_deep_rule` (codes ``ZS1xx``,
 deliberately disjoint from the classic registry) and are driven by
 :func:`repro.analysis.semantic.model.run_deep`.
@@ -31,6 +35,8 @@ from __future__ import annotations
 
 import abc
 import ast
+import hashlib
+import inspect
 import re
 from pathlib import Path
 from typing import TYPE_CHECKING, ClassVar, Dict, Iterator, List, Optional, Set, Tuple
@@ -112,7 +118,28 @@ def register_deep_rule(cls: type) -> type:
 
 def default_deep_rules() -> List[DeepRule]:
     """One instance of every registered deep rule, code order."""
+    # The effect rules register on import; imported lazily here because
+    # the effects module imports DeepRule from this one.
+    from repro.analysis.semantic import effects  # noqa: F401
+
     return [DEEP_RULE_REGISTRY[c]() for c in sorted(DEEP_RULE_REGISTRY)]
+
+
+def rules_signature(rules: Optional[List[DeepRule]] = None) -> str:
+    """A short content hash over the active rules' source code.
+
+    Folded into the analysis cache so editing a rule's *logic* — not
+    just the analyzed modules — invalidates cached findings. Without
+    this, a rule fix would silently keep serving stale results for
+    every module whose closure fingerprint did not change.
+    """
+    pool = rules if rules is not None else default_deep_rules()
+    digest = hashlib.sha256()
+    for chunk in sorted(
+        rule.code + inspect.getsource(type(rule)) for rule in pool
+    ):
+        digest.update(chunk.encode("utf-8"))
+    return digest.hexdigest()[:16]
 
 
 def _sort_key(f: Finding) -> tuple:

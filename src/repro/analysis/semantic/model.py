@@ -244,7 +244,10 @@ def run_deep(
 
     cache: Optional[AnalysisCache] = None
     if cache_path is not None and use_cache and rules is None:
-        cache = AnalysisCache(cache_path)
+        from repro.analysis.semantic.deeprules import rules_signature
+
+        # rules is None here, so the default rule set is the active one.
+        cache = AnalysisCache(cache_path, rules_hash=rules_signature())
         cache.load()
 
     sources: Dict[str, LintSource] = {}

@@ -1,0 +1,652 @@
+"""ZSpec: the declarative invariant registry for cache arrays.
+
+Every correctness property the reproduction relies on — walk-tree
+well-formedness, map↔array synchronization, tag uniqueness, block
+conservation, and the two-phase protocol's staleness/atomicity
+contract — lives here as a named :class:`Invariant` with a
+machine-checkable predicate. Three backends consume the registry:
+
+- :class:`~repro.analysis.sanitizer.SanitizedArray` is a thin runtime
+  driver: it builds the scope-appropriate check context around each
+  intercepted array operation and raises
+  :class:`~repro.analysis.sanitizer.InvariantViolation` for the first
+  invariant whose predicate reports a violation.
+- :mod:`repro.analysis.modelcheck` exhaustively enumerates access
+  sequences over tiny geometries and evaluates every state-scope
+  invariant (plus reference↔turbo bit-identity) at each step.
+- The planned fault-injection campaign (ROADMAP item 5) reuses the
+  registry as its detector vocabulary: an injected fault is *detected*
+  when some registered invariant fires.
+
+Invariants are grouped by *scope* — the operation whose aftermath they
+constrain:
+
+``walk``
+    One candidate of a freshly built replacement/reinsertion walk.
+``commit``
+    The state right after a successful ``commit_replacement``.
+``evict``
+    The state right after ``evict_address``.
+``state``
+    Whole-array consistency, checkable at any quiescent point.
+``phase``
+    One observed commit *attempt* (two-phase protocol): a commit must
+    reject stale walk paths, and a rejected commit must not corrupt
+    state (paper Section III-D's benign-race restart discipline).
+
+Checks are pure observers: they never mutate the array, and they
+return a human-readable detail string on violation (``None`` when the
+invariant holds). The registry preserves definition order, which is
+the order the sanitizer historically applied its checks in — tests
+that plant a single corruption rely on that precedence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.base import (
+    CacheArray,
+    Candidate,
+    CommitResult,
+    Position,
+    Replacement,
+)
+
+#: The invariant classes a violation is tagged with. The first eleven
+#: predate the registry (SanitizedArray's original taxonomy); the last
+#: two cover the two-phase protocol's staleness and atomicity contract.
+VIOLATION_KINDS = (
+    "walk-cycle",
+    "walk-level",
+    "walk-parent",
+    "walk-repeat",
+    "walk-stale",
+    "walk-bounds",
+    "walk-hash",
+    "map-desync",
+    "duplicate-tag",
+    "hash-placement",
+    "conservation",
+    "phase-stale",
+    "commit-order",
+)
+
+SCOPE_WALK = "walk"
+SCOPE_COMMIT = "commit"
+SCOPE_EVICT = "evict"
+SCOPE_STATE = "state"
+SCOPE_PHASE = "phase"
+
+#: valid values for :attr:`Invariant.scope`
+SCOPES = (SCOPE_WALK, SCOPE_COMMIT, SCOPE_EVICT, SCOPE_STATE, SCOPE_PHASE)
+
+
+def iter_path(cand: Candidate, limit: int) -> Iterator[Candidate]:
+    """Walk parent links from ``cand`` to the root, yielding each node.
+
+    Stops after ``limit`` nodes so a corrupted cyclic tree cannot hang
+    the checker; callers detect the truncation as a cycle.
+    """
+    node: Optional[Candidate] = cand
+    for _ in range(limit):
+        if node is None:
+            return
+        yield node
+        node = node.parent
+
+
+# ---------------------------------------------------------------------------
+# Check contexts: one per scope, built by the driver around an operation.
+# ---------------------------------------------------------------------------
+
+
+#: sentinel for "caller did not hoist this walk-level constant"
+_UNSET = object()
+
+
+class WalkCheck:
+    """Context for ``walk``-scope invariants: one candidate of one walk.
+
+    The sanitizer builds one per candidate on the hot path, so the
+    constructor accepts the per-*walk* constants (``cap``, ``hashes``)
+    pre-hoisted and builds the ancestor chain eagerly in a single
+    traversal — several invariants read :attr:`path`, and a lazy
+    property here costs a measurable fraction of the whole sanitized
+    run.
+    """
+
+    __slots__ = ("array", "repl", "cand", "cap", "hashes", "path",
+                 "cycle_detail")
+
+    def __init__(
+        self,
+        array: CacheArray,
+        repl: Replacement,
+        cand: Candidate,
+        cap: Optional[int] = None,
+        hashes: Any = _UNSET,
+    ) -> None:
+        self.array = array
+        self.repl = repl
+        self.cand = cand
+        #: ancestor-chain length cap; anything longer is a cycle
+        self.cap = (
+            len(repl.candidates) + array.num_ways + 1 if cap is None else cap
+        )
+        self.hashes = (
+            getattr(array, "hashes", None) if hashes is _UNSET else hashes
+        )
+        #: set while building :attr:`path` when the chain is cyclic
+        self.cycle_detail: Optional[str] = None
+        # Inline parent-chase (not :func:`iter_path`): chains are 1-3
+        # nodes long, so generator setup would dominate the walk.
+        seen: Set[int] = set()
+        path: List[Candidate] = []
+        node: Optional[Candidate] = cand
+        for _ in range(self.cap):
+            if node is None:
+                break
+            if id(node) in seen:
+                self.cycle_detail = (
+                    f"ancestor chain of candidate at {cand.position} "
+                    f"revisits a node (level {node.level})"
+                )
+                break
+            seen.add(id(node))
+            path.append(node)
+            node = node.parent
+        else:
+            if path[-1].parent is not None:
+                self.cycle_detail = (
+                    f"ancestor chain of candidate at {cand.position} "
+                    f"exceeds {self.cap} nodes without reaching a root"
+                )
+        #: candidate-to-root chain (truncated at :attr:`cap` on cycles)
+        self.path = path
+
+
+class CommitCheck:
+    """Context for ``commit``-scope invariants: one finished commit."""
+
+    def __init__(
+        self,
+        array: CacheArray,
+        repl: Replacement,
+        chosen: Candidate,
+        result: CommitResult,
+        len_before: int,
+        was_resident: bool,
+    ) -> None:
+        self.array = array
+        self.repl = repl
+        self.chosen = chosen
+        self.result = result
+        self.len_before = len_before
+        self.was_resident = was_resident
+        root = chosen
+        for root in iter_path(
+            chosen, len(repl.candidates) + array.num_ways + 1
+        ):
+            pass
+        #: the relocation path's level-0 end, where the incoming lands
+        self.root = root
+
+
+class EvictCheck:
+    """Context for ``evict``-scope invariants: one forced eviction."""
+
+    def __init__(self, array: CacheArray, address: int) -> None:
+        self.array = array
+        self.address = address
+
+
+class StateCheck:
+    """Context for ``state``-scope invariants: whole-array consistency."""
+
+    def __init__(self, array: CacheArray) -> None:
+        self.array = array
+
+    def cells(self) -> Iterator[Tuple[Position, int]]:
+        """Every occupied line as ``(position, address)``, way-major."""
+        array = self.array
+        for way in range(array.num_ways):
+            line = array._lines[way]
+            for index in range(array.lines_per_way):
+                addr = line[index]
+                if addr is not None:
+                    yield Position(way, index), addr
+
+
+class PhaseCheck:
+    """Context for ``phase``-scope invariants: one commit *attempt*.
+
+    Built by the driver around ``commit_replacement`` /
+    ``commit_reinsertion``, whether the inner commit succeeded
+    (``error is None``) or raised a ``RuntimeError``. ``stale_detail``
+    records — *before* the attempt — whether the chosen path had gone
+    stale, exactly as :meth:`~repro.core.base.CacheArray.check_path`
+    would judge it.
+    """
+
+    def __init__(
+        self,
+        array: CacheArray,
+        repl: Replacement,
+        chosen: Candidate,
+        *,
+        stale_detail: Optional[str],
+        error: Optional[BaseException],
+        len_before: int,
+        len_after: int,
+        incoming_resident_before: bool,
+        incoming_resident_after: bool,
+    ) -> None:
+        self.array = array
+        self.repl = repl
+        self.chosen = chosen
+        self.stale_detail = stale_detail
+        self.error = error
+        self.len_before = len_before
+        self.len_after = len_after
+        self.incoming_resident_before = incoming_resident_before
+        self.incoming_resident_after = incoming_resident_after
+
+
+def stale_path_detail(array: CacheArray, chosen: Candidate) -> Optional[str]:
+    """Why ``chosen``'s recorded path is stale, or None if accurate.
+
+    Mirrors :meth:`~repro.core.base.CacheArray.check_path` verbatim so
+    the ``phase-stale`` invariant judges staleness by the same standard
+    the array's own guard does.
+    """
+    for node in chosen.path_to_root():
+        if array._read(node.position) != node.address:
+            return (
+                f"position {node.position} no longer holds {node.address!r}"
+            )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One named, machine-checkable correctness property.
+
+    Attributes
+    ----------
+    name:
+        Unique registry key (kebab-case).
+    kind:
+        The :data:`VIOLATION_KINDS` entry a failure is tagged with.
+    scope:
+        Which check context the predicate consumes (:data:`SCOPES`).
+    description:
+        One-line statement of the property, quotable in reports.
+    check:
+        Predicate: context -> detail string on violation, else None.
+    """
+
+    name: str
+    kind: str
+    scope: str
+    description: str
+    check: Callable[..., Optional[str]]
+
+
+#: name -> invariant, in definition (= historical check) order
+INVARIANT_REGISTRY: "dict[str, Invariant]" = {}
+
+
+def register_invariant(
+    name: str, kind: str, scope: str, description: str
+) -> Callable[[Callable[..., Optional[str]]], Callable[..., Optional[str]]]:
+    """Decorator registering a check function as a named invariant."""
+    if kind not in VIOLATION_KINDS:
+        raise ValueError(f"unknown violation kind: {kind!r}")
+    if scope not in SCOPES:
+        raise ValueError(f"unknown invariant scope: {scope!r}")
+
+    def deco(
+        fn: Callable[..., Optional[str]]
+    ) -> Callable[..., Optional[str]]:
+        if name in INVARIANT_REGISTRY:
+            raise ValueError(f"duplicate invariant name: {name!r}")
+        INVARIANT_REGISTRY[name] = Invariant(
+            name=name, kind=kind, scope=scope, description=description,
+            check=fn,
+        )
+        return fn
+
+    return deco
+
+
+def default_invariants() -> Tuple[Invariant, ...]:
+    """Every registered invariant, in definition order."""
+    return tuple(INVARIANT_REGISTRY.values())
+
+
+def invariants_for(scope: str) -> Tuple[Invariant, ...]:
+    """The registered invariants of one scope, in definition order."""
+    if scope not in SCOPES:
+        raise ValueError(f"unknown invariant scope: {scope!r}")
+    return tuple(
+        inv for inv in INVARIANT_REGISTRY.values() if inv.scope == scope
+    )
+
+
+# ---------------------------------------------------------------------------
+# Walk-scope invariants (checked per candidate, definition order).
+# ---------------------------------------------------------------------------
+
+
+@register_invariant(
+    "walk-in-bounds", "walk-bounds", SCOPE_WALK,
+    "every candidate position lies inside the array geometry",
+)
+def _walk_in_bounds(ctx: WalkCheck) -> Optional[str]:
+    pos = ctx.cand.position
+    if not (
+        0 <= pos.way < ctx.array.num_ways
+        and 0 <= pos.index < ctx.array.lines_per_way
+    ):
+        return f"candidate position {pos} out of bounds"
+    return None
+
+
+@register_invariant(
+    "walk-acyclic", "walk-cycle", SCOPE_WALK,
+    "ancestor chains are acyclic and terminate at a parentless root",
+)
+def _walk_acyclic(ctx: WalkCheck) -> Optional[str]:
+    return ctx.cycle_detail
+
+
+@register_invariant(
+    "walk-level-monotone", "walk-level", SCOPE_WALK,
+    "roots sit at level 0 and levels increase by exactly one per link",
+)
+def _walk_level_monotone(ctx: WalkCheck) -> Optional[str]:
+    for node in ctx.path:
+        parent = node.parent
+        if parent is None:
+            if node.level != 0:
+                return (
+                    f"root candidate at {node.position} has level "
+                    f"{node.level}, expected 0"
+                )
+        elif node.level != parent.level + 1:
+            return (
+                f"candidate at {node.position} has level {node.level} "
+                f"but its parent has level {parent.level}"
+            )
+    return None
+
+
+@register_invariant(
+    "walk-parent-occupied", "walk-parent", SCOPE_WALK,
+    "only occupied slots are expanded into deeper candidates",
+)
+def _walk_parent_occupied(ctx: WalkCheck) -> Optional[str]:
+    for node in ctx.path:
+        parent = node.parent
+        if parent is not None and parent.address is None:
+            return (
+                f"candidate at {node.position} expands an empty slot "
+                f"at {parent.position}"
+            )
+    return None
+
+
+@register_invariant(
+    "walk-path-distinct", "walk-repeat", SCOPE_WALK,
+    "a valid candidate's relocation path never revisits a position",
+)
+def _walk_path_distinct(ctx: WalkCheck) -> Optional[str]:
+    if ctx.cand.valid:
+        positions = [node.position for node in ctx.path]
+        if len(set(positions)) != len(positions):
+            return (
+                f"valid candidate at {ctx.cand.position} has a relocation "
+                "path that revisits a position (must be flagged invalid)"
+            )
+    return None
+
+
+@register_invariant(
+    "walk-records-current", "walk-stale", SCOPE_WALK,
+    "recorded candidate contents match the array (walks do not mutate)",
+)
+def _walk_records_current(ctx: WalkCheck) -> Optional[str]:
+    pos = ctx.cand.position
+    actual = ctx.array._read(pos)
+    if actual != ctx.cand.address:
+        return (
+            f"candidate records {ctx.cand.address!r} at {pos} but the "
+            f"array holds {actual!r}"
+        )
+    return None
+
+
+@register_invariant(
+    "walk-hash-discipline", "walk-hash", SCOPE_WALK,
+    "each candidate sits at its way's hash of the relocating address",
+)
+def _walk_hash_discipline(ctx: WalkCheck) -> Optional[str]:
+    if ctx.hashes is None:
+        return None
+    cand = ctx.cand
+    pos = cand.position
+    source = cand.parent.address if cand.parent else ctx.repl.incoming
+    if source is not None:
+        expected = ctx.hashes[pos.way](source)
+        if pos.index != expected:
+            return (
+                f"candidate at {pos} is not the way-{pos.way} hash of "
+                f"{source:#x} (expected index {expected})"
+            )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Commit-scope invariants.
+# ---------------------------------------------------------------------------
+
+
+@register_invariant(
+    "commit-conservation", "conservation", SCOPE_COMMIT,
+    "a commit changes the resident count by install minus eviction",
+)
+def _commit_conservation(ctx: CommitCheck) -> Optional[str]:
+    expected = ctx.len_before + (0 if ctx.was_resident else 1)
+    if ctx.result.evicted is not None:
+        expected -= 1
+    if len(ctx.array) != expected:
+        return (
+            f"resident count {len(ctx.array)} after commit, expected "
+            f"{expected} (before={ctx.len_before}, "
+            f"evicted={ctx.result.evicted!r})"
+        )
+    return None
+
+
+@register_invariant(
+    "commit-evicted-gone", "conservation", SCOPE_COMMIT,
+    "the evicted block is fully removed by its commit",
+)
+def _commit_evicted_gone(ctx: CommitCheck) -> Optional[str]:
+    evicted = ctx.result.evicted
+    if evicted is not None and ctx.array.lookup(evicted) is not None:
+        return f"evicted block {evicted:#x} is still resident"
+    return None
+
+
+@register_invariant(
+    "commit-incoming-resident", "conservation", SCOPE_COMMIT,
+    "the incoming block is resident after its commit",
+)
+def _commit_incoming_resident(ctx: CommitCheck) -> Optional[str]:
+    if ctx.array.lookup(ctx.repl.incoming) is None:
+        return (
+            f"incoming block {ctx.repl.incoming:#x} not resident after "
+            "commit"
+        )
+    return None
+
+
+@register_invariant(
+    "commit-root-placement", "map-desync", SCOPE_COMMIT,
+    "the incoming block lands at the relocation path's root position",
+)
+def _commit_root_placement(ctx: CommitCheck) -> Optional[str]:
+    pos = ctx.array.lookup(ctx.repl.incoming)
+    if pos is not None and pos != ctx.root.position:
+        return (
+            f"incoming block {ctx.repl.incoming:#x} at {pos}, expected "
+            f"the path root {ctx.root.position}"
+        )
+    return None
+
+
+@register_invariant(
+    "commit-path-placement", "map-desync", SCOPE_COMMIT,
+    "every relocated block moved exactly one step down the path",
+)
+def _commit_path_placement(ctx: CommitCheck) -> Optional[str]:
+    node = ctx.chosen
+    while node.parent is not None:
+        moved = node.parent.address
+        if moved is not None and ctx.array.lookup(moved) != node.position:
+            return (
+                f"relocated block {moved:#x} is not at {node.position} "
+                "after commit"
+            )
+        node = node.parent
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Evict-scope invariants.
+# ---------------------------------------------------------------------------
+
+
+@register_invariant(
+    "evict-clears-map", "map-desync", SCOPE_EVICT,
+    "a forced eviction removes the block from the position map",
+)
+def _evict_clears_map(ctx: EvictCheck) -> Optional[str]:
+    if ctx.array.lookup(ctx.address) is not None:
+        return f"evicted block {ctx.address:#x} still resolves in the map"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# State-scope invariants (whole-array scans).
+# ---------------------------------------------------------------------------
+
+
+@register_invariant(
+    "state-tag-unique", "duplicate-tag", SCOPE_STATE,
+    "no block address is stored in more than one line",
+)
+def _state_tag_unique(ctx: StateCheck) -> Optional[str]:
+    seen: "dict[int, Position]" = {}
+    for pos, addr in ctx.cells():
+        if addr in seen:
+            return f"block {addr:#x} stored at both {seen[addr]} and {pos}"
+        seen[addr] = pos
+    return None
+
+
+@register_invariant(
+    "state-map-line-sync", "map-desync", SCOPE_STATE,
+    "the address→position map and the line arrays agree exactly",
+)
+def _state_map_line_sync(ctx: StateCheck) -> Optional[str]:
+    stored: Set[int] = set()
+    for pos, addr in ctx.cells():
+        stored.add(addr)
+        mapped = ctx.array._pos.get(addr)
+        if mapped != pos:
+            return (
+                f"line {pos} holds {addr:#x} but the map says {mapped!r}"
+            )
+    stale = set(ctx.array._pos) - stored
+    if stale:
+        addr = next(iter(stale))
+        return (
+            f"map entry {addr:#x} -> {ctx.array._pos[addr]} points at a "
+            "line that does not hold it"
+        )
+    return None
+
+
+@register_invariant(
+    "state-hash-placement", "hash-placement", SCOPE_STATE,
+    "every resident block sits at its way's hash of its address",
+)
+def _state_hash_placement(ctx: StateCheck) -> Optional[str]:
+    hashes = getattr(ctx.array, "hashes", None)
+    if hashes is None:
+        return None
+    for addr, pos in ctx.array._pos.items():
+        expected = hashes[pos.way](addr)
+        if pos.index != expected:
+            return (
+                f"block {addr:#x} at index {pos.index} of way {pos.way}, "
+                f"but hashes to {expected}"
+            )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Phase-scope invariants (two-phase staleness / atomicity contract).
+# ---------------------------------------------------------------------------
+
+
+@register_invariant(
+    "twophase-stale-path-guard", "phase-stale", SCOPE_PHASE,
+    "a commit over a stale walk path must be rejected, never applied",
+)
+def _twophase_stale_path_guard(ctx: PhaseCheck) -> Optional[str]:
+    if ctx.error is None and ctx.stale_detail is not None:
+        return (
+            f"commit of {ctx.repl.incoming:#x} succeeded on a stale walk "
+            f"path: {ctx.stale_detail}"
+        )
+    return None
+
+
+@register_invariant(
+    "twophase-commit-atomic", "commit-order", SCOPE_PHASE,
+    "a rejected commit leaves state unchanged (reinsertion may only "
+    "have evicted its own incoming block)",
+)
+def _twophase_commit_atomic(ctx: PhaseCheck) -> Optional[str]:
+    if ctx.error is None:
+        return None
+    if (
+        ctx.len_after == ctx.len_before
+        and ctx.incoming_resident_after == ctx.incoming_resident_before
+    ):
+        return None
+    # A reinsertion commit evicts its incoming block before relocating;
+    # staleness detected after that prefix legitimately leaves the block
+    # out (the controller's retry path re-walks and re-places it).
+    if (
+        ctx.len_after == ctx.len_before - 1
+        and ctx.incoming_resident_before
+        and not ctx.incoming_resident_after
+    ):
+        return None
+    return (
+        f"rejected commit of {ctx.repl.incoming:#x} mutated state: "
+        f"resident count {ctx.len_before} -> {ctx.len_after}, incoming "
+        f"resident {ctx.incoming_resident_before} -> "
+        f"{ctx.incoming_resident_after}"
+    )

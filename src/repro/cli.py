@@ -70,9 +70,10 @@ def main(argv: list[str] | None = None) -> int:
         "(Sanchez & Kozyrakis, MICRO 2010).",
         epilog="Additional subcommands: 'zcache-repro lint [paths...]' "
         "(ZSan static analysis, rules ZS001-ZS006; add --deep for the "
-        "ZProve whole-program rules ZS101-ZS104 and --fix for "
+        "ZProve whole-program rules ZS101-ZS108 and --fix for "
         "mechanical repairs), 'zcache-repro "
-        "check --sanitize' (runtime invariant sanitizer), 'zcache-repro "
+        "check --sanitize' (runtime invariant sanitizer; --model for "
+        "the exhaustive bounded model checker), 'zcache-repro "
         "stats <experiment>' (ZScope metrics snapshot), 'zcache-repro "
         "trace <experiment>' (JSONL event trace + offline summary) and "
         "'zcache-repro sweep --jobs N' (parallel design sweep with "

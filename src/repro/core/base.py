@@ -159,15 +159,22 @@ class CacheArray(abc.ABC):
         return self._lines[pos.way][pos.index]
 
     def _write(self, pos: Position, address: Optional[int]) -> None:
+        # Guard before any mutation: rejecting a duplicate after the old
+        # block's map entry is dropped would leave the array corrupted
+        # exactly when the caller most needs a clean state to retry from
+        # (the ZS106 exception-state-safety contract).
+        if (
+            address is not None
+            and self._pos.get(address, pos) != pos
+        ):
+            raise RuntimeError(
+                f"block {address:#x} would be duplicated in the array"
+            )
         old = self._lines[pos.way][pos.index]
         if old is not None:
             del self._pos[old]
         self._lines[pos.way][pos.index] = address
         if address is not None:
-            if address in self._pos:
-                raise RuntimeError(
-                    f"block {address:#x} would be duplicated in the array"
-                )
             self._pos[address] = pos
 
     # -- public interface ---------------------------------------------------

@@ -106,7 +106,12 @@ class TwoPhaseZCache(Cache):
             evicted2 = phase2_choice.address  # None = free slot found
             try:
                 commit2 = self.array.commit_reinsertion(repl2, phase2_choice)
-            except RuntimeError:
+            except RuntimeError as exc:
+                # Only the array's own stale-path guard (a plain
+                # RuntimeError) triggers the retry; subclasses such as
+                # the sanitizer's InvariantViolation must propagate.
+                if type(exc) is not RuntimeError:
+                    raise
                 # Stale phase-2 path; fall back to plain eviction.
                 self._c_stale_retries.value += 1
                 return self._plain_eviction(address, node1, victim1)
@@ -180,7 +185,9 @@ class TwoPhaseZCache(Cache):
         repl = Replacement(incoming=address)
         try:
             commit = self.array.commit_replacement(repl, node1)
-        except RuntimeError:
+        except RuntimeError as exc:
+            if type(exc) is not RuntimeError:
+                raise  # sanitizer violations are not retryable staleness
             # node1's path went stale (only possible after a phase-2
             # commit attempt): re-walk and take the best fresh path.
             self._c_stale_retries.value += 1
@@ -238,7 +245,9 @@ class TwoPhaseZCache(Cache):
         )
         try:
             commit = self.array.commit_replacement(repl, freed)
-        except RuntimeError:
+        except RuntimeError as exc:
+            if type(exc) is not RuntimeError:
+                raise  # sanitizer violations are not retryable staleness
             # A phase-2 relocation rewrote a phase-1 ancestor: re-walk.
             self._c_stale_retries.value += 1
             fresh = self.array.build_replacement(address)

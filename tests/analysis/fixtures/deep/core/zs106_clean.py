@@ -1,0 +1,20 @@
+"""ZS106 clean twin: guards precede mutation, or the def is atomic."""
+
+
+class GuardedArray:
+    def install(self, pos, address):
+        # All rejection happens before the first write.
+        if address in self._pos:
+            raise RuntimeError("duplicate block")
+        self._lines[0][pos] = address
+        self._pos[address] = pos
+
+    def swap(self, a, b):  # zspec: atomic
+        self._pos[a], self._pos[b] = self._pos[b], self._pos[a]
+        if a == b:
+            raise ValueError("degenerate swap")  # marker-exempted
+
+    def read_only(self, address):
+        if address not in self._pos:
+            raise KeyError(address)  # no mutation anywhere: fine
+        return self._pos[address]

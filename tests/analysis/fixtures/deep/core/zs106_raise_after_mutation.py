@@ -1,0 +1,14 @@
+"""ZS106 fixture: raises after array-state mutation (torn updates)."""
+
+
+class TornArray:
+    def install(self, pos, address):
+        self._lines[0][pos] = address
+        if address in self._pos:
+            raise RuntimeError("duplicate block")  # state already torn
+        self._pos[address] = pos
+
+    def evict(self, address):
+        del self._pos[address]
+        if address is None:
+            raise KeyError("cannot evict the empty tag")

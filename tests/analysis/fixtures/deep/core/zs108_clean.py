@@ -1,0 +1,17 @@
+"""ZS108 clean twin: entropy through seeded, replayable streams."""
+
+import random
+
+
+class SeededKernel:
+    def __init__(self, seed):
+        # Constructing a stream is sanctioned; only draws are policed.
+        self._rng = random.Random(seed)
+
+    def pick_way(self, ways):
+        return self._rng.randrange(ways)
+
+
+def derive(seed):
+    rng = random.Random(seed)
+    return rng.getrandbits(32)

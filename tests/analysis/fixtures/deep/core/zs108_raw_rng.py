@@ -1,0 +1,19 @@
+"""ZS108 fixture: raw module-level entropy in a simulator package."""
+
+import random
+
+import numpy as np
+from numpy import random as npr
+
+
+def pick_way(ways):
+    return random.randrange(ways)
+
+
+def jitter():
+    return np.random.rand()
+
+
+def shuffle_slots(slots):
+    npr.shuffle(slots)
+    return slots

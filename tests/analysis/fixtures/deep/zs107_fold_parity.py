@@ -1,0 +1,36 @@
+"""ZS107 fixture: a turbo path that drops a reference-path fold."""
+
+
+class ZCacheArray:
+    def build_replacement(self, address):
+        self._sc["walks"].value += 1
+        return []
+
+    def commit_replacement(self, repl, chosen):
+        self._sc["relocations"].value += 1
+        return chosen
+
+
+class Cache:
+    def access(self, address):
+        self._sc["hits"].value += 1
+        self._sc["evictions"].value += 1
+        self._sc["pin_overflows"].value += 1  # exempt: turbo declines pins
+
+    def invalidate(self, address):
+        self._sc["invalidations"].value += 1
+
+    def absorb_writeback(self, address):
+        self._sc["writebacks"].value += 1
+
+
+class TurboCore:
+    def access(self, address):
+        self._c_hits.value += 1
+        self._c_evictions.value += 1
+        self._c_walks.value += 1
+        self._c_relocations.value += 1
+
+    def invalidate(self, address):
+        self._c_invalidations.value += 1
+        # never folds "writebacks": the reference path does

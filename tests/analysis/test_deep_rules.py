@@ -34,9 +34,12 @@ def deep_findings(path, code):
 # Registry
 
 
-def test_default_rules_cover_all_four_codes():
+def test_default_rules_cover_all_eight_codes():
     codes = [r.code for r in default_deep_rules()]
-    assert codes == ["ZS101", "ZS102", "ZS103", "ZS104"]
+    assert codes == [
+        "ZS101", "ZS102", "ZS103", "ZS104",
+        "ZS105", "ZS106", "ZS107", "ZS108",
+    ]
 
 
 def test_registry_rejects_shallow_code_range():
@@ -80,6 +83,10 @@ FLAGGED = [
     ("zs102_parallel_safety.py", "ZS102", [11, 16, 21, 27, 37, 39, 40]),
     ("zs103_merge_completeness.py", "ZS103", [44, 58, 58, 62]),
     ("core/zs104_hidden_state.py", "ZS104", [3, 4, 5, 6]),
+    ("zs105_walk_mutation.py", "ZS105", [12, 15, 20, 26]),
+    ("core/zs106_raise_after_mutation.py", "ZS106", [8, 14]),
+    ("zs107_fold_parity.py", "ZS107", [27]),
+    ("core/zs108_raw_rng.py", "ZS108", [10, 14, 18]),
 ]
 
 CLEAN = [
@@ -87,6 +94,10 @@ CLEAN = [
     ("zs102_clean.py", "ZS102"),
     ("zs103_clean.py", "ZS103"),
     ("core/zs104_clean.py", "ZS104"),
+    ("zs105_clean.py", "ZS105"),
+    ("core/zs106_clean.py", "ZS106"),
+    ("zs107_clean.py", "ZS107"),
+    ("core/zs108_clean.py", "ZS108"),
 ]
 
 
@@ -272,3 +283,111 @@ def test_conflict_designs_defaults_preserve_historical_seeds():
 def test_conflict_module_is_deep_clean():
     findings = deep_findings(SRC / "experiments" / "conflict.py", "ZS101")
     assert not findings, "\n".join(f.render() for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# Effect rules (ZS105-ZS108): semantics beyond the line pins, plus the
+# fold-parity acceptance test against a scratch copy of the real tree.
+
+
+def test_zs106_atomic_marker_exempts_function(tmp_path):
+    flagged = tmp_path / "core"
+    flagged.mkdir()
+    target = flagged / "marked.py"
+    target.write_text(
+        "class A:\n"
+        "    def torn(self, a):  # zspec: atomic\n"
+        "        self._pos[a] = 0\n"
+        "        raise RuntimeError(a)\n",
+        encoding="utf-8",
+    )
+    assert not deep_findings(target, "ZS106")
+
+
+def test_zs106_scope_is_core_and_kernels_only(tmp_path):
+    body = (
+        "class A:\n"
+        "    def torn(self, a):\n"
+        "        self._pos[a] = 0\n"
+        "        raise RuntimeError(a)\n"
+    )
+    outside = tmp_path / "elsewhere"
+    outside.mkdir()
+    (outside / "torn.py").write_text(body, encoding="utf-8")
+    assert not deep_findings(outside / "torn.py", "ZS106")
+    inside = tmp_path / "kernels"
+    inside.mkdir()
+    (inside / "torn.py").write_text(body, encoding="utf-8")
+    assert [f.line for f in deep_findings(inside / "torn.py", "ZS106")] == [4]
+
+
+def test_zs108_self_rooted_draws_are_sanctioned(tmp_path):
+    core = tmp_path / "core"
+    core.mkdir()
+    target = core / "streams.py"
+    target.write_text(
+        "import random\n"
+        "class K:\n"
+        "    def __init__(self, seed):\n"
+        "        self._rng = random.Random(seed)\n"
+        "    def pick(self, n):\n"
+        "        return self._rng.randrange(n)\n",
+        encoding="utf-8",
+    )
+    assert not deep_findings(target, "ZS108")
+
+
+def _scratch_tree(tmp_path):
+    """Copy src/repro into a scratch dir for whole-tree acceptance runs."""
+    import shutil
+
+    scratch = tmp_path / "repro"
+    shutil.copytree(SRC, scratch)
+    return scratch
+
+
+def test_zs107_catches_removed_turbo_counter_fold(tmp_path):
+    from repro.analysis.semantic.effects import EngineFoldParityRule
+
+    scratch = _scratch_tree(tmp_path)
+    engine = scratch / "kernels" / "engine.py"
+    text = engine.read_text(encoding="utf-8")
+    folds = [
+        line for line in text.splitlines()
+        if "_c_candidates.value +=" in line
+    ]
+    assert len(folds) == 1  # unique fold: removing it must break parity
+    engine.write_text(text.replace(folds[0] + "\n", ""), encoding="utf-8")
+
+    report, _ = run_deep([scratch], rules=[EngineFoldParityRule()])
+    findings = [f for f in report.findings if f.code == "ZS107"]
+    assert findings, "removed turbo counter fold was not caught"
+    assert any("candidates" in f.message for f in findings)
+    assert all(f.path.endswith("engine.py") for f in findings)
+
+
+def test_zs107_passes_unmodified_tree(tmp_path):
+    from repro.analysis.semantic.effects import EngineFoldParityRule
+
+    scratch = _scratch_tree(tmp_path)
+    report, _ = run_deep([scratch], rules=[EngineFoldParityRule()])
+    assert not [f for f in report.findings if f.code == "ZS107"]
+
+
+def test_zs105_catches_mutation_planted_in_zcache_walk(tmp_path):
+    from repro.analysis.semantic.effects import TwoPhasePurityRule
+
+    scratch = _scratch_tree(tmp_path)
+    zcache = scratch / "core" / "zcache.py"
+    text = zcache.read_text(encoding="utf-8")
+    anchor = "    def build_replacement(self, address: int) -> Replacement:\n"
+    assert anchor in text
+    planted = text.replace(
+        anchor, anchor + "        self._pos.pop(address, None)\n", 1
+    )
+    zcache.write_text(planted, encoding="utf-8")
+
+    report, _ = run_deep([scratch], rules=[TwoPhasePurityRule()])
+    findings = [f for f in report.findings if f.code == "ZS105"]
+    assert findings, "planted walk-phase mutation was not caught"
+    assert any("build_replacement" in f.message for f in findings)

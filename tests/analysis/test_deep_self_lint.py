@@ -1,6 +1,6 @@
 """Deep self-lint: src/repro must stay clean under the ZProve rules.
 
-Same deal as the per-file self-lint — ZS101-ZS104 only have teeth if
+Same deal as the per-file self-lint — ZS101-ZS108 only have teeth if
 the tree is pinned at zero deep findings. Also covers the CLI surface
 of ``lint --deep``: the stats line, rule listing, cache flags, select
 interaction, and the unknown-code exit.
@@ -64,7 +64,10 @@ def test_cli_no_cache_never_writes_the_cache_file(tmp_path, capsys):
 def test_cli_rules_listing_includes_deep_codes(capsys):
     assert cli_main(["lint", "--rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("ZS101", "ZS102", "ZS103", "ZS104"):
+    for code in (
+        "ZS101", "ZS102", "ZS103", "ZS104",
+        "ZS105", "ZS106", "ZS107", "ZS108",
+    ):
         assert code in out
     assert "[deep]" in out
 

@@ -18,6 +18,7 @@ from repro.analysis.semantic import (
     func_key,
     module_name_for,
     run_deep,
+    rules_signature,
 )
 from repro.analysis.semantic.dataflow import (
     CONST,
@@ -393,6 +394,49 @@ class TestCache:
         loaded = AnalysisCache(cache)
         loaded.load()
         assert len(loaded) == 0
+
+    def test_rules_hash_mismatch_invalidates_everything(self, tmp_path):
+        """Changing the rule set must cold-start the cache.
+
+        Cached findings are per-module *outputs of the rules*; a cache
+        written by an older rule set would silently miss everything a
+        newly added rule (or a widened one) should flag.
+        """
+        write_pkg(tmp_path, CACHED_PKG)
+        cache = tmp_path / "cache.json"
+        run_deep([tmp_path], cache_path=cache)
+        payload = json.loads(cache.read_text(encoding="utf-8"))
+        assert payload["rules_hash"] == rules_signature()
+
+        stale = AnalysisCache(cache, rules_hash="0" * 16)
+        stale.load()
+        assert len(stale) == 0
+
+        # And a fresh run against the doctored hash re-analyzes all.
+        payload["rules_hash"] = "0" * 16
+        cache.write_text(json.dumps(payload), encoding="utf-8")
+        report, stats = run_deep([tmp_path], cache_path=cache)
+        assert stats.cache_hits == 0
+        assert stats.modules_analyzed == stats.modules_total
+
+    def test_rules_signature_tracks_rule_source(self):
+        from repro.analysis.semantic import DeepRule, default_deep_rules
+
+        full = rules_signature()
+        assert full == rules_signature(list(default_deep_rules()))
+        assert len(full) == 16
+
+        class Variant(DeepRule):
+            code = "ZS199"
+            name = "variant"
+            summary = "variant"
+
+            def check_module(self, model, module):
+                return []
+
+        subset = rules_signature(list(default_deep_rules())[:2])
+        variant = rules_signature([Variant()])
+        assert len({full, subset, variant}) == 3
 
     def test_prune_drops_departed_modules(self, tmp_path):
         cache = AnalysisCache(tmp_path / "cache.json")
