@@ -3,7 +3,7 @@
 
 Four claims are pinned on every push:
 
-1. **Zero findings** — ``src/repro`` is deep-clean under ZS101-ZS108,
+1. **Zero findings** — ``src/repro`` is deep-clean under ZS101-ZS109,
    effect rules included (the enforcement half of the ZProve deal,
    same as the per-file self-lint).
 2. **Cold budget** — a from-scratch whole-program run fits inside a

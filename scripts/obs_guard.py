@@ -16,6 +16,13 @@ simulator hot loop): the guarded quantity is
 ratio exceeds baseline x max_regression (1.15 -- slack for timer noise
 on shared CI runners; the acceptance bar for the layer itself is <=5%).
 
+A second, machine-relative claim guards the ZTrace span layer: the
+same Fig. 2 run under an ``ObsContext`` with spans *enabled* must stay
+within ``max_regression`` of the identical run with the disabled
+``NULL_SPANS`` tracker. Both sides are measured interleaved on this
+machine, so no baseline entry is needed — the ratio is its own
+reference.
+
 Usage::
 
     python scripts/obs_guard.py            # check against the baseline
@@ -81,6 +88,48 @@ def sweep_seconds(cfg: dict) -> float:
     return time.perf_counter() - t0
 
 
+def fig2_obs_seconds(cfg: dict, spans_on: bool) -> float:
+    """Seconds for the Fig. 2 run under an ObsContext (spans on or off).
+
+    Both sides carry the full metrics/trace/profiler context so the
+    ratio isolates exactly what span tracing adds on top.
+    """
+    from repro.experiments.fig2 import run as fig2_run
+    from repro.obs import ObsContext
+    from repro.obs.spans import SpanTracker
+
+    obs = ObsContext(
+        spans=SpanTracker(seed=cfg["seed"]) if spans_on else None
+    )
+    t0 = time.perf_counter()
+    fig2_run(
+        cache_blocks=cfg["cache_blocks"],
+        accesses=cfg["accesses"],
+        seed=cfg["seed"],
+        obs=obs,
+    )
+    elapsed = time.perf_counter() - t0
+    obs.close()
+    return elapsed
+
+
+def span_overhead(baseline: dict, rounds: int = 5) -> float:
+    """spans-on / spans-off wall-time ratio for the Fig. 2 workload.
+
+    Rounds are interleaved (off, on, repeat) and each series takes its
+    min, mirroring :func:`measure`, so shared-runner noise cancels.
+    """
+    cfg = baseline["workloads"]["fig2"]
+    fig2_obs_seconds(cfg, spans_on=True)  # warm imports and caches
+    offs, ons = [], []
+    for _ in range(rounds):
+        offs.append(fig2_obs_seconds(cfg, spans_on=False))
+        ons.append(fig2_obs_seconds(cfg, spans_on=True))
+    off, on = min(offs), min(ons)
+    print(f"spans off: {off:.3f}s  spans on: {on:.3f}s")
+    return on / off
+
+
 def measure(baseline: dict, rounds: int = 5) -> dict[str, float]:
     """Calibration-normalized ratios for both guarded workloads.
 
@@ -138,10 +187,18 @@ def main(argv: list[str] | None = None) -> int:
             f"{name}: ratio {ratio:.4f} vs baseline {ref:.4f} "
             f"({rel:.2f}x, limit {limit:.2f}x)  {verdict}"
         )
+    span_rel = span_overhead(baseline)
+    span_verdict = "ok" if span_rel <= limit else "REGRESSION"
+    if span_rel > limit:
+        failed = True
+    print(
+        f"spans: on/off ratio {span_rel:.2f}x (limit {limit:.2f}x)  "
+        f"{span_verdict}"
+    )
     if failed:
-        print("obs_guard: null-path overhead regressed beyond the budget")
+        print("obs_guard: observability overhead regressed beyond the budget")
         return 1
-    print("obs_guard: null-path overhead within budget")
+    print("obs_guard: null-path and span overhead within budget")
     return 0
 
 

@@ -8,7 +8,7 @@ three independent enforcement prongs:
   equality, the replacement-policy contract, hot-path dataclass slots,
   wall-clock/global-state hygiene). Run via ``zcache-repro lint``.
   :mod:`repro.analysis.semantic` adds the ZProve whole-program pass
-  (ZS101–ZS108, including the effect/typestate rules) behind
+  (ZS101–ZS109, including the effect/typestate rules) behind
   ``lint --deep``.
 - :mod:`repro.analysis.sanitizer` — :class:`SanitizedArray`, a runtime
   proxy driving the registry invariants after every array operation

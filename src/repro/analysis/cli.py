@@ -45,7 +45,7 @@ def _split_codes(
 def run_lint(argv: list[str]) -> int:
     """``zcache-repro lint [paths...]`` — run ZSan; exit 1 on findings.
 
-    ``--deep`` adds the ZProve whole-program rules (ZS101–ZS108) on
+    ``--deep`` adds the ZProve whole-program rules (ZS101–ZS109) on
     top of the per-file rules; selecting a deep code enables the deep
     pass implicitly. ``--fix`` applies the mechanical repairs first
     (ZS004 ``slots=True`` insertion, ZS001 ``from random import``
@@ -56,7 +56,7 @@ def run_lint(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="zcache-repro lint",
         description="Run the ZSan AST lint rules (ZS001-ZS006) and, "
-        "with --deep, the ZProve whole-program rules (ZS101-ZS108) "
+        "with --deep, the ZProve whole-program rules (ZS101-ZS109) "
         "over Python sources. Exits non-zero when any finding is "
         "reported.",
     )
@@ -82,7 +82,7 @@ def run_lint(argv: list[str]) -> int:
     )
     parser.add_argument(
         "--deep", action="store_true",
-        help="also run the whole-program semantic rules (ZS101-ZS108)",
+        help="also run the whole-program semantic rules (ZS101-ZS109)",
     )
     parser.add_argument(
         "--fix", action="store_true",

@@ -1,4 +1,4 @@
-"""Deep (whole-program) lint rules: registry plus codes ZS101–ZS104.
+"""Deep (whole-program) lint rules: registry plus ZS101–ZS104, ZS109.
 
 Where the classic ZSan rules (ZS001–ZS006) look at one file at a time,
 deep rules run against the :class:`~repro.analysis.semantic.model.
@@ -21,6 +21,9 @@ call graph:
 - **ZS104 hidden-module-state** — simulator packages (``core``,
   ``sim``, ``replacement``) must not keep module-level mutable
   globals; state belongs in objects threaded through calls.
+- **ZS109 span-discipline** — ``core``/``kernels``/``experiments``
+  code opens ZTrace spans only as ``with`` items (or through
+  ``record_span``), so a raising body can never leak an open span.
 
 The effect/typestate rules (ZS105–ZS108) live in
 :mod:`repro.analysis.semantic.effects` and register here through the
@@ -281,9 +284,26 @@ def _local_store_names(func: FunctionInfo) -> Set[str]:
     return names
 
 
+def _is_obs_module(module: str) -> bool:
+    """Whether ``module`` belongs to the observability layer.
+
+    The obs sinks are the sanctioned channel for a worker to record
+    span/trace data: each worker opens its *own* per-process file from
+    a path handed across the pickle boundary, so no handle is shared
+    with the parent. Mirrors the ZS005 exemption for the same layer.
+    """
+    return module == "repro.obs" or module.startswith("repro.obs.")
+
+
 @register_deep_rule
 class ParallelSafetyRule(DeepRule):
-    """ZS102: worker-reachable code must be pure w.r.t. module state."""
+    """ZS102: worker-reachable code must be pure w.r.t. module state.
+
+    The ``open()`` check exempts functions defined under ``repro.obs``:
+    per-worker span/trace sinks (see :mod:`repro.obs.spans`) are the
+    designed mechanism for workers to record observability data, and
+    they open worker-local paths rather than sharing parent handles.
+    """
 
     code = "ZS102"
     name = "parallel-safety"
@@ -433,7 +453,11 @@ class ParallelSafetyRule(DeepRule):
                         )
             elif isinstance(node, ast.Call):
                 func = node.func
-                if isinstance(func, ast.Name) and func.id == "open":
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id == "open"
+                    and not _is_obs_module(fn.module)
+                ):
                     out.append(
                         self.finding(
                             info,
@@ -684,4 +708,67 @@ class HiddenModuleStateRule(DeepRule):
                 path=str(info.path),
                 line=binding.lineno,
                 column=binding.col,
+            )
+
+
+# ---------------------------------------------------------------------------
+# ZS109: span discipline
+# ---------------------------------------------------------------------------
+
+#: span-opening method names that must appear as a ``with`` item
+_SPAN_OPENERS = frozenset({"span", "turbo_batches", "_start"})
+
+
+@register_deep_rule
+class SpanDisciplineRule(DeepRule):
+    """ZS109: spans open only as ``with`` items in simulation code.
+
+    A span (or a tracker-managed helper like ``turbo_batches``) opened
+    outside a ``with`` statement leaks open when the enclosed work
+    raises: its duration is never recorded and every later span on the
+    thread parents under a ghost. ``record_span`` (an already-measured
+    interval) is the sanctioned non-``with`` spelling.
+    """
+
+    code = "ZS109"
+    name = "span-discipline"
+    summary = (
+        "core/, kernels/ and experiments/ code must open spans as "
+        "`with tracker.span(...)` (or a tracker-managed helper) so "
+        "spans cannot leak open on exceptions"
+    )
+
+    _SCOPED = frozenset({"core", "kernels", "experiments"})
+
+    @classmethod
+    def applies_to_module(cls, module: str, path: Path) -> bool:
+        return bool(cls._SCOPED & set(path.parts))
+
+    def check_module(
+        self, model: "SemanticModel", module: str
+    ) -> Iterator[Finding]:
+        info = model.graph.modules[module]
+        with_items: Set[int] = set()
+        for node in ast.walk(info.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_items.add(id(item.context_expr))
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SPAN_OPENERS
+            ):
+                continue
+            if id(node) in with_items:
+                continue
+            yield self.finding(
+                info,
+                node,
+                f"'.{func.attr}(...)' opens a span outside a 'with' "
+                f"statement; use `with tracker.{func.attr}(...)` so the "
+                f"span closes on exceptions (record_span is the "
+                f"sanctioned non-with form)",
             )

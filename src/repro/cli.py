@@ -11,6 +11,7 @@ Examples::
     zcache-repro check --sanitize
     zcache-repro stats fig2 --format json
     zcache-repro trace fig2 --instructions 2000
+    zcache-repro timeline sweep --jobs 2 --out trace.json --critical-path
     zcache-repro sweep --jobs 4 --workloads canneal,gcc --checkpoint ck.json
 
 ``lint`` and ``check`` are the correctness-tooling subcommands (the
@@ -60,6 +61,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import run_trace
 
         return run_trace(argv[1:])
+    if argv and argv[0] == "timeline":
+        from repro.obs.cli import run_timeline
+
+        return run_timeline(argv[1:])
     if argv and argv[0] == "sweep":
         from repro.experiments.parallel import run_sweep_cli
 
@@ -70,13 +75,15 @@ def main(argv: list[str] | None = None) -> int:
         "(Sanchez & Kozyrakis, MICRO 2010).",
         epilog="Additional subcommands: 'zcache-repro lint [paths...]' "
         "(ZSan static analysis, rules ZS001-ZS006; add --deep for the "
-        "ZProve whole-program rules ZS101-ZS108 and --fix for "
+        "ZProve whole-program rules ZS101-ZS109 and --fix for "
         "mechanical repairs), 'zcache-repro "
         "check --sanitize' (runtime invariant sanitizer; --model for "
         "the exhaustive bounded model checker), 'zcache-repro "
         "stats <experiment>' (ZScope metrics snapshot), 'zcache-repro "
-        "trace <experiment>' (JSONL event trace + offline summary) and "
-        "'zcache-repro sweep --jobs N' (parallel design sweep with "
+        "trace <experiment>' (JSONL event trace + offline summary), "
+        "'zcache-repro timeline <experiment> [--jobs N]' (ZTrace span "
+        "timeline: Perfetto trace-event export + critical-path report) "
+        "and 'zcache-repro sweep --jobs N' (parallel design sweep with "
         "checkpoint/resume); each has its own --help.",
     )
     parser.add_argument(

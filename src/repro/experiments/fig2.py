@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.assoc import TrackedPolicy, uniformity_cdf
 from repro.core import Cache, RandomCandidatesArray
-from repro.obs import ObsContext
+from repro.obs import NULL_SPANS, ObsContext
 from repro.replacement import LRU
 
 CANDIDATE_COUNTS = (4, 8, 16, 64)
@@ -78,37 +78,53 @@ def run(
     analytic = {}
     simulated = {}
     profiler = obs.profiler if obs is not None else None
-    for n in CANDIDATE_COUNTS:
-        cdf = uniformity_cdf(n)
-        analytic[n] = np.array([cdf(x) for x in xs])
-        tracked = TrackedPolicy(LRU())
-        array = RandomCandidatesArray(cache_blocks, n, seed=seed + n)
-        if wrap_array is not None:
-            array = wrap_array(array)
-        cache = Cache(
-            array,
-            tracked,
-            name=f"n{n}",
-            obs=obs.scoped(f"n{n}") if obs is not None else None,
-            engine=engine,
-        )
-        rng = random.Random(seed + n)
-        footprint = cache_blocks * footprint_mult
-        if cache.engine == "turbo":
-            from repro.kernels.replay import fig2_addresses
+    spans = obs.spans if obs is not None else NULL_SPANS
+    with spans.span("fig2", accesses=accesses, engine=engine):
+        for n in CANDIDATE_COUNTS:
+            # The whole per-n iteration sits under one span — the turbo
+            # path pre-draws its access stream in bulk, and that setup
+            # cost belongs to the n it serves.
+            with spans.span(f"fig2.n{n}", candidates=n):
+                cdf = uniformity_cdf(n)
+                analytic[n] = np.array([cdf(x) for x in xs])
+                tracked = TrackedPolicy(LRU())
+                array = RandomCandidatesArray(cache_blocks, n, seed=seed + n)
+                if wrap_array is not None:
+                    array = wrap_array(array)
+                cache = Cache(
+                    array,
+                    tracked,
+                    name=f"n{n}",
+                    obs=obs.scoped(f"n{n}") if obs is not None else None,
+                    engine=engine,
+                )
+                rng = random.Random(seed + n)
+                footprint = cache_blocks * footprint_mult
+                if cache.engine == "turbo":
+                    from repro.kernels.replay import fig2_addresses
 
-            stream = iter(fig2_addresses(rng, footprint, accesses))
-        else:
-            stream = iter(rng.randrange(footprint) for _ in range(accesses))
-        if profiler is not None:
-            with profiler.phase(f"fig2.n{n}"):
-                for address in stream:
-                    cache.access(address)
-        else:
-            for address in stream:
-                cache.access(address)
-        dist = tracked.distribution()
-        simulated[n] = (dist.cdf(xs), dist.ks_to_uniformity(n))
+                    stream = iter(fig2_addresses(rng, footprint, accesses))
+                else:
+                    stream = iter(
+                        rng.randrange(footprint) for _ in range(accesses)
+                    )
+                # Turbo path: roll one child span per access batch via
+                # the TurboCore hook (no-op on the reference engine or
+                # with spans disabled).
+                with spans.turbo_batches(
+                    getattr(cache, "_turbo", None),
+                    f"fig2.n{n}",
+                    every=max(1, accesses // 8),
+                ):
+                    if profiler is not None:
+                        with profiler.phase(f"fig2.n{n}"):
+                            for address in stream:
+                                cache.access(address)
+                    else:
+                        for address in stream:
+                            cache.access(address)
+                dist = tracked.distribution()
+                simulated[n] = (dist.cdf(xs), dist.ks_to_uniformity(n))
     return Fig2Result(xs=xs, analytic=analytic, simulated=simulated)
 
 

@@ -12,12 +12,14 @@ baseline SA-4 with H3 hashing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.experiments.runner import (
     DESIGNS_FIG4,
     ExperimentScale,
     collect_design_sweeps,
 )
+from repro.obs import ObsContext
 from repro.util.statistics import geometric_mean
 
 
@@ -68,18 +70,22 @@ def run(
     scale: ExperimentScale = ExperimentScale(),
     policies: tuple = ("opt", "lru"),
     jobs: int = 1,
+    obs: Optional[ObsContext] = None,
 ) -> Fig4Result:
     """Run the Fig. 4 sweep. The baseline is DESIGNS_FIG4[0].
 
     ``jobs > 1`` fans the (workload, design, policy) replays across
-    worker processes; results are bit-identical to a serial run.
+    worker processes; results are bit-identical to a serial run. The
+    optional ``obs`` context threads metrics, phase timings and ZTrace
+    spans through the sweep (spans cross the process boundary when the
+    context's tracker is enabled).
     """
     base_label = DESIGNS_FIG4[0].label()
     raw: dict = {}
     per_design: dict = {}
     sweeps = collect_design_sweeps(
         scale.workload_names(), DESIGNS_FIG4,
-        policies=policies, scale=scale, jobs=jobs,
+        policies=policies, scale=scale, jobs=jobs, obs=obs,
     )
     for workload, sweep in sweeps.items():
         for policy in policies:

@@ -11,6 +11,7 @@ roster and over the 10 workloads with the highest baseline L2 MPKI.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro.energy import CacheCostModel, ChipPowerModel
 from repro.experiments.runner import (
@@ -19,6 +20,7 @@ from repro.experiments.runner import (
     collect_design_sweeps,
     representative_workloads,
 )
+from repro.obs import ObsContext
 from repro.sim import CMPConfig, L2DesignConfig
 from repro.sim.cmp import CMPResult
 from repro.util.statistics import geometric_mean
@@ -93,11 +95,14 @@ def run(
     policies: tuple = ("lru",),
     cfg: CMPConfig | None = None,
     jobs: int = 1,
+    obs: Optional[ObsContext] = None,
 ) -> list[Fig5Cell]:
     """Run the Fig. 5 sweep; one cell per design/policy/group.
 
     ``jobs > 1`` fans the replays across worker processes (bit-identical
-    results, see :mod:`repro.experiments.parallel`).
+    results, see :mod:`repro.experiments.parallel`). The optional
+    ``obs`` context threads metrics, phase timings and ZTrace spans
+    through the sweep.
     """
     cfg = cfg or CMPConfig()
     designs = fig5_designs()
@@ -107,7 +112,7 @@ def run(
     imps: dict = {}
     base_mpki: dict = {}
     sweeps = collect_design_sweeps(
-        names, designs, policies=policies, scale=scale, jobs=jobs
+        names, designs, policies=policies, scale=scale, jobs=jobs, obs=obs
     )
     for workload, sweep in sweeps.items():
         for policy in policies:

@@ -37,6 +37,19 @@ Robustness is part of the contract:
   interrupted 72-workload sweep resumes without recomputing anything
   (stale checkpoints are detected by a sweep fingerprint and ignored).
 
+When the parent context carries an enabled
+:class:`~repro.obs.SpanTracker` (ZTrace), the engine also propagates
+spans across the process boundary: the parent opens a ``sweep`` root
+span, records one ``job.<scope>`` child per job (its id derived from
+the job seed, so both sides can name it without a rendezvous), and
+serializes a :class:`~repro.obs.SpanContext` into each submission.
+Workers record their own span trees into per-job JSONL sinks (named by
+the job-seed fingerprint); on join the parent stitches each worker
+tree under its job span (:meth:`~repro.obs.SpanTracker.adopt`),
+re-based onto the parent clock and clamped into the job window.
+Timeouts, retries and degradation show up as span attributes, so the
+``timeline`` CLI renders the whole fan-out as one tree.
+
 Entry points: :func:`run_parallel_sweeps` (multi-workload),
 ``run_design_sweep(jobs=N)`` (single workload, in
 :mod:`repro.experiments.runner`) and the ``zcache-repro sweep --jobs N``
@@ -47,6 +60,8 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
+import tempfile
 import zlib
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
@@ -57,7 +72,16 @@ from typing import Iterable, Optional, Sequence
 
 from repro.experiments.runner import ExperimentScale, SweepResult
 from repro.hashing.mixers import splitmix64
-from repro.obs import Heartbeat, ObsContext, sanitize_component
+from repro.obs import (
+    NULL_SPANS,
+    Heartbeat,
+    ObsContext,
+    SpanContext,
+    SpanTracker,
+    read_span_export,
+    sanitize_component,
+)
+from repro.obs.spans import derive_trace_id
 from repro.sim import CMPConfig, CMPResult, L2DesignConfig, TraceDrivenRunner
 from repro.sim.cmp import CapturedTrace
 from repro.workloads import get_workload
@@ -104,6 +128,21 @@ class SweepJob:
         if not include_workload:
             return design_part
         return f"{sanitize_component(self.workload)}.{design_part}"
+
+    @property
+    def span_id(self) -> int:
+        """Deterministic id of this job's parent-side span.
+
+        Derived from the job seed, so the parent can name the span at
+        submit time and the worker can parent its tree under it without
+        any rendezvous — and a retried job reuses the same id.
+        """
+        return derive_trace_id(self.seed)
+
+    @property
+    def fingerprint(self) -> str:
+        """Filesystem-safe job identity (per-job span sink file names)."""
+        return f"{self.seed:016x}"
 
 
 @dataclass
@@ -162,17 +201,31 @@ def _replay_worker(
     captured: CapturedTrace,
     policy_wrapper,
     scope: str,
+    span_ctx: Optional[dict] = None,
 ) -> tuple[str, CMPResult, dict, dict]:
     """Process-pool entry point: replay under a private ObsContext.
 
     Returns ``(key, result, metrics snapshot, phase-seconds report)``;
     the parent merges the snapshot and timings into its own context.
+    With a serialized :class:`SpanContext`, the worker also records its
+    span tree (root ``replay.<scope>``, parented under the parent-side
+    job span) into the per-job sink file named in the context; spans
+    travel back through the filesystem, not the return value.
     """
-    obs = ObsContext()
-    with obs.profiler.phase(f"replay.{scope}"):
-        result = _execute_job(
-            job, cfg, captured, policy_wrapper, obs.scoped(scope)
+    spans = NULL_SPANS
+    if span_ctx is not None:
+        spans = SpanTracker.from_context(
+            SpanContext.from_dict(span_ctx), process=f"worker-{os.getpid()}"
         )
+    obs = ObsContext(spans=spans)
+    try:
+        with obs.profiler.phase(f"replay.{scope}"):
+            with spans.span(f"replay.{scope}", key=job.key):
+                result = _execute_job(
+                    job, cfg, captured, policy_wrapper, obs.scoped(scope)
+                )
+    finally:
+        spans.close()
     return job.key, result, obs.metrics.snapshot(), obs.profiler.report()
 
 
@@ -261,6 +314,7 @@ def run_parallel_sweeps(
     obs: Optional[ObsContext] = None,
     policy_wrapper=None,
     scope_workloads: bool = True,
+    span_dir: Optional[str] = None,
 ) -> ParallelSweepOutcome:
     """Run a (workload x design x policy) sweep across worker processes.
 
@@ -288,6 +342,10 @@ def run_parallel_sweeps(
         Include the workload name in each job's metric scope (disabled
         by ``run_design_sweep(jobs=N)``, whose serial naming has no
         workload component).
+    span_dir:
+        Directory for the per-job worker span sink files (only used
+        when ``obs.spans`` is enabled and the pool path runs). Default:
+        a temporary directory, removed after stitching.
     """
     cfg = cfg or CMPConfig()
     designs = list(designs)
@@ -339,80 +397,131 @@ def run_parallel_sweeps(
             total=total,
         )
 
-    # -- capture phase (once per workload, in the parent) ------------------
-    captures: dict[str, CapturedTrace] = {}
-    profiler = obs.profiler if obs is not None else None
-    for w in names:
-        if not any(j.workload == w for j in todo):
-            continue
-        runner = TraceDrivenRunner(
-            cfg,
-            get_workload(w),
-            instructions_per_core=scale.instructions_per_core,
-            seed=scale.seed,
-        )
-        if profiler is not None:
-            with profiler.phase(f"capture.{sanitize_component(w)}"):
-                captures[w] = runner.capture()
-        else:
-            captures[w] = runner.capture()
-        heartbeat.beat(f"sweep: {w}: captured L2 stream")
-
-    # -- serial path (jobs == 1, or single remaining job) ------------------
-    def run_serial(job: SweepJob, status: str, attempts: int) -> None:
-        scope = job.scope(scope_workloads)
-        job_obs = obs.scoped(scope) if obs is not None else None
-        try:
+    spans = obs.spans if obs is not None else NULL_SPANS
+    with spans.span(
+        "sweep", total_jobs=total, restored=outcome.restored, workers=n_jobs
+    ):
+        # -- capture phase (once per workload, in the parent) --------------
+        captures: dict[str, CapturedTrace] = {}
+        profiler = obs.profiler if obs is not None else None
+        for w in names:
+            if not any(j.workload == w for j in todo):
+                continue
+            runner = TraceDrivenRunner(
+                cfg,
+                get_workload(w),
+                instructions_per_core=scale.instructions_per_core,
+                seed=scale.seed,
+            )
             if profiler is not None:
-                with profiler.phase(f"replay.{scope}"):
-                    result = _execute_job(
-                        job, cfg, captures[job.workload],
-                        policy_wrapper, job_obs,
-                    )
+                with profiler.phase(f"capture.{sanitize_component(w)}"):
+                    with spans.span(
+                        f"capture.{sanitize_component(w)}", workload=w
+                    ):
+                        captures[w] = runner.capture()
             else:
-                result = _execute_job(
-                    job, cfg, captures[job.workload], policy_wrapper, job_obs
+                with spans.span(
+                    f"capture.{sanitize_component(w)}", workload=w
+                ):
+                    captures[w] = runner.capture()
+            heartbeat.beat(f"sweep: {w}: captured L2 stream")
+
+        # -- serial path (jobs == 1, or single remaining job) --------------
+        def run_serial(job: SweepJob, status: str, attempts: int) -> None:
+            scope = job.scope(scope_workloads)
+            job_obs = obs.scoped(scope) if obs is not None else None
+            try:
+                with spans.span(
+                    f"job.{scope}",
+                    span_id=job.span_id,
+                    key=job.key,
+                    status=status,
+                    attempts=attempts,
+                ):
+                    if profiler is not None:
+                        with profiler.phase(f"replay.{scope}"):
+                            result = _execute_job(
+                                job, cfg, captures[job.workload],
+                                policy_wrapper, job_obs,
+                            )
+                    else:
+                        result = _execute_job(
+                            job, cfg, captures[job.workload],
+                            policy_wrapper, job_obs,
+                        )
+            except Exception as exc:  # mark and continue: the sweep finishes
+                outcome.outcomes[job.key] = JobOutcome(
+                    key=job.key, status="failed", attempts=attempts,
+                    error=f"{type(exc).__name__}: {exc}",
                 )
-        except Exception as exc:  # mark and continue: the sweep finishes
-            outcome.outcomes[job.key] = JobOutcome(
-                key=job.key, status="failed", attempts=attempts,
-                error=f"{type(exc).__name__}: {exc}",
-            )
-            return
-        _commit(outcome, job, result, status, obs=None, snapshot=None,
-                attempts=attempts)
-        if ckpt is not None:
-            ckpt.record(job.key, status, result)
+                return
+            _commit(outcome, job, result, status, obs=None, snapshot=None,
+                    attempts=attempts)
+            if ckpt is not None:
+                ckpt.record(job.key, status, result)
 
-    if n_jobs <= 1 or len(todo) <= 1:
-        for i, job in enumerate(todo):
-            run_serial(job, "serial", attempts=1)
-            heartbeat.beat(
-                f"sweep: {job.key} [serial]", done=done + i + 1, total=total
-            )
-        return outcome
+        if n_jobs <= 1 or len(todo) <= 1:
+            for i, job in enumerate(todo):
+                run_serial(job, "serial", attempts=1)
+                heartbeat.beat(
+                    f"sweep: {job.key} [serial]",
+                    done=done + i + 1,
+                    total=total,
+                )
+            return outcome
 
-    # -- parallel path -----------------------------------------------------
-    try:
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            done = _drain_pool(
-                pool, todo, captures, cfg, policy_wrapper, scope_workloads,
-                timeout, outcome, obs, ckpt, heartbeat, done, total,
-            )
-    except BrokenProcessPool:
-        outcome.degraded = True
-    # Graceful degradation: anything the pool did not finish (worker
-    # crash, exhausted retries) re-runs in the parent, marked as such.
-    for job in todo:
-        if job.key in outcome.outcomes:
-            continue
-        outcome.degraded = True
-        run_serial(job, "serial", attempts=2)
-        done += 1
-        heartbeat.beat(
-            f"sweep: {job.key} [degraded-serial]", done=done, total=total
-        )
+        # -- parallel path -------------------------------------------------
+        stitch_dir: Optional[Path] = None
+        cleanup_stitch_dir = False
+        if spans.enabled:
+            if span_dir is not None:
+                stitch_dir = Path(span_dir)
+                stitch_dir.mkdir(parents=True, exist_ok=True)
+            else:
+                stitch_dir = Path(tempfile.mkdtemp(prefix="ztrace-"))
+                cleanup_stitch_dir = True
+        try:
+            try:
+                with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+                    done = _drain_pool(
+                        pool, todo, captures, cfg, policy_wrapper,
+                        scope_workloads, timeout, outcome, obs, ckpt,
+                        heartbeat, done, total, spans, stitch_dir,
+                    )
+            except BrokenProcessPool:
+                outcome.degraded = True
+            # Graceful degradation: anything the pool did not finish
+            # (worker crash, exhausted retries) re-runs in the parent,
+            # marked as such.
+            for job in todo:
+                if job.key in outcome.outcomes:
+                    continue
+                outcome.degraded = True
+                run_serial(job, "serial", attempts=2)
+                done += 1
+                heartbeat.beat(
+                    f"sweep: {job.key} [degraded-serial]",
+                    done=done,
+                    total=total,
+                )
+        finally:
+            if cleanup_stitch_dir and stitch_dir is not None:
+                shutil.rmtree(stitch_dir, ignore_errors=True)
     return outcome
+
+
+def _span_sink_path(
+    stitch_dir: Optional[Path], job: SweepJob, attempt: int
+) -> Optional[Path]:
+    """Per-(job, attempt) worker span sink file (None when spans are off).
+
+    Keyed by the job-seed fingerprint so the parent can re-derive the
+    path at join time; the attempt index keeps a timed-out first
+    attempt (whose worker may still be writing) from racing its retry.
+    """
+    if stitch_dir is None:
+        return None
+    return stitch_dir / f"{job.fingerprint}.a{attempt}.spans.jsonl"
 
 
 def _drain_pool(
@@ -429,14 +538,31 @@ def _drain_pool(
     heartbeat: Heartbeat,
     done: int,
     total: int,
+    spans: SpanTracker = NULL_SPANS,
+    stitch_dir: Optional[Path] = None,
 ) -> int:
     """Submit every job, join in deterministic order, retry once each.
 
     Raises :class:`BrokenProcessPool` through to the caller when the
     pool dies; jobs already committed stay committed.
+
+    With spans enabled, each submission carries a serialized
+    :class:`SpanContext`; at join the parent records the job's
+    submit-to-join window as a ``job.<scope>`` span (deterministic
+    seed-derived id) and stitches the worker's span tree under it,
+    clamped into that window.
     """
 
-    def submit(job: SweepJob) -> Future:
+    def submit(job: SweepJob, attempt: int) -> Future:
+        span_ctx = None
+        sink = _span_sink_path(stitch_dir, job, attempt)
+        if sink is not None:
+            span_ctx = SpanContext(
+                seed=job.seed,
+                parent_span_id=job.span_id,
+                thread=job.scope(scope_workloads),
+                sink_path=str(sink),
+            ).to_dict()
         return pool.submit(
             _replay_worker,
             job,
@@ -444,9 +570,15 @@ def _drain_pool(
             captures[job.workload],
             policy_wrapper,
             job.scope(scope_workloads),
+            span_ctx,
         )
 
-    futures: dict[str, Future] = {job.key: submit(job) for job in todo}
+    submitted_at = {
+        job.key: spans.now() if spans.enabled else 0.0 for job in todo
+    }
+    futures: dict[str, Future] = {
+        job.key: submit(job, attempt=1) for job in todo
+    }
     for job in todo:
         attempts = 0
         while True:
@@ -460,18 +592,36 @@ def _drain_pool(
             except FutureTimeout:
                 if attempts > 1:
                     break  # degraded serial fallback picks it up
-                futures[job.key] = submit(job)  # one retry, same seed
+                # one retry, same seed
+                futures[job.key] = submit(job, attempt=2)
                 continue
             except Exception:  # worker raised: one retry, then fallback
                 if attempts > 1:
                     break
-                futures[job.key] = submit(job)
+                futures[job.key] = submit(job, attempt=2)
                 continue
             _commit(outcome, job, result, "parallel", obs, snapshot,
                     attempts=attempts)
             if obs is not None:
                 for phase, seconds in phases.items():
                     obs.profiler.add(phase, seconds)
+            if spans.enabled:
+                joined_at = spans.now()
+                spans.record_span(
+                    f"job.{job.scope(scope_workloads)}",
+                    start=submitted_at[job.key],
+                    end=joined_at,
+                    span_id=job.span_id,
+                    key=job.key,
+                    status="parallel",
+                    attempts=attempts,
+                )
+                sink = _span_sink_path(stitch_dir, job, attempts)
+                if sink is not None and sink.exists():
+                    spans.adopt(
+                        read_span_export(sink),
+                        window=(submitted_at[job.key], joined_at),
+                    )
             if ckpt is not None:
                 ckpt.record(job.key, "parallel", result, metrics=snapshot)
             done += 1

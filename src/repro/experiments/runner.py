@@ -5,7 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
-from repro.obs import NULL_PHASE_TIMER, Heartbeat, ObsContext, sanitize_component
+from repro.obs import (
+    NULL_PHASE_TIMER,
+    NULL_SPANS,
+    Heartbeat,
+    ObsContext,
+    sanitize_component,
+)
 from repro.sim import CMPConfig, L2DesignConfig, TraceDrivenRunner
 from repro.workloads import WORKLOADS, get_workload
 
@@ -115,32 +121,37 @@ def run_design_sweep(
     workload = get_workload(workload_name)
     profiler = obs.profiler if obs is not None else NULL_PHASE_TIMER
     heartbeat = obs.heartbeat if obs is not None else Heartbeat.from_env()
+    spans = obs.spans if obs is not None else NULL_SPANS
     runner = TraceDrivenRunner(
         cfg,
         workload,
         instructions_per_core=scale.instructions_per_core,
         seed=scale.seed,
     )
-    with profiler.phase("capture"):
-        runner.capture()
-    heartbeat.beat(f"{workload_name}: captured L2 stream")
-    sweep = SweepResult(workload=workload_name)
-    jobs = [(d, p) for d in designs for p in policies]
-    for done, (design, policy) in enumerate(jobs, start=1):
-        design_cfg = cfg.with_design(replace(design, policy=policy))
-        scope = f"{sanitize_component(design.label())}.{policy}"
-        with profiler.phase(f"replay.{scope}"):
-            result = runner.replay(
-                design_cfg,
-                policy_wrapper=policy_wrapper,
-                obs=obs.scoped(scope) if obs is not None else None,
+    with spans.span("sweep", workload=workload_name):
+        with profiler.phase("capture"):
+            with spans.span("capture", workload=workload_name):
+                runner.capture()
+        heartbeat.beat(f"{workload_name}: captured L2 stream")
+        sweep = SweepResult(workload=workload_name)
+        jobs = [(d, p) for d in designs for p in policies]
+        for done, (design, policy) in enumerate(jobs, start=1):
+            design_cfg = cfg.with_design(replace(design, policy=policy))
+            scope = f"{sanitize_component(design.label())}.{policy}"
+            with profiler.phase(f"replay.{scope}"):
+                with spans.span(f"job.{scope}", design=design.label(),
+                                policy=policy):
+                    result = runner.replay(
+                        design_cfg,
+                        policy_wrapper=policy_wrapper,
+                        obs=obs.scoped(scope) if obs is not None else None,
+                    )
+            sweep.results[(design.label(), policy)] = result
+            heartbeat.beat(
+                f"{workload_name}: replayed {design.label()}/{policy}",
+                done=done,
+                total=len(jobs),
             )
-        sweep.results[(design.label(), policy)] = result
-        heartbeat.beat(
-            f"{workload_name}: replayed {design.label()}/{policy}",
-            done=done,
-            total=len(jobs),
-        )
     return sweep
 
 

@@ -47,7 +47,7 @@ controller                plain ``Cache`` (not ``TwoPhaseZCache``), tracing
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 import numpy as np
 
@@ -164,8 +164,29 @@ class TurboCore:
         )
         zc = self.array if isinstance(self.array, ZCacheArray) else None
         self._zc = zc
+        self._batch_hook: Optional[Callable[[int], None]] = None
+        self._batch_every = 0
+        self._batch_count = 0
         self._bind_counters()
         cache.add_stats_listener(self._bind_counters)
+
+    def set_batch_hook(
+        self, hook: Optional[Callable[[int], None]], every: int
+    ) -> None:
+        """Install (or remove, with ``None``) the batch-boundary hook.
+
+        ZTrace instrumentation point: the hook fires with the batch
+        index after every ``every``-th access, letting
+        :meth:`~repro.obs.SpanTracker.turbo_batches` roll one span per
+        batch without touching the hot path when no hook is set (one
+        ``is None`` test per access). Never installed by default —
+        engine bit-identity and the kernel_guard floor are unaffected.
+        """
+        if hook is not None and every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self._batch_hook = hook
+        self._batch_every = every if hook is not None else 0
+        self._batch_count = 0
 
     def _bind_counters(self) -> None:
         """(Re)cache counter refs; fired when the controller's stats swap."""
@@ -215,6 +236,13 @@ class TurboCore:
         """One read/write access — :meth:`Cache.access`, vectorized."""
         if address < 0:
             raise ValueError(f"address must be non-negative, got {address}")
+        if self._batch_hook is not None:
+            self._batch_count += 1
+            if self._batch_count >= self._batch_every:
+                self._batch_count = 0
+                self._batch_hook(
+                    (self._c_accesses.value + 1) // self._batch_every
+                )
         self._c_accesses.value += 1
         if is_write:
             self._c_writes.value += 1

@@ -16,6 +16,12 @@ low-overhead facilities:
   offline from a trace.
 - **Profiling** (:mod:`repro.obs.profiling`): phase timers with
   wall-time attribution and a single-file heartbeat for long sweeps.
+- **Span tracing** (:mod:`repro.obs.spans` + :mod:`repro.obs.timeline`,
+  ZTrace): hierarchical spans with deterministic seed-derived ids,
+  cross-process propagation through the parallel sweep engine, Chrome
+  trace-event/Perfetto export and critical-path attribution. Off by
+  default (``NULL_SPANS``); enabled per run by the ``timeline`` CLI or
+  by handing the context an enabled :class:`SpanTracker`.
 
 :class:`ObsContext` bundles the three and is what components accept:
 everything takes an optional ``obs`` argument and, when given one,
@@ -66,6 +72,14 @@ from repro.obs.profiling import (
     Heartbeat,
     PhaseTimer,
 )
+from repro.obs.spans import (
+    NULL_SPANS,
+    Span,
+    SpanContext,
+    SpanSink,
+    SpanTracker,
+    read_span_export,
+)
 
 __all__ = [
     "ObsContext",
@@ -98,6 +112,12 @@ __all__ = [
     "NULL_PHASE_TIMER",
     "NULL_HEARTBEAT",
     "PROGRESS_LOG_ENV",
+    "Span",
+    "SpanContext",
+    "SpanSink",
+    "SpanTracker",
+    "NULL_SPANS",
+    "read_span_export",
 ]
 
 
@@ -105,14 +125,19 @@ class ObsContext:
     """The bundle instrumented components accept: metrics + trace + profiling.
 
     A context carries a :class:`MetricsRegistry` view, a
-    :class:`TraceBus`, a :class:`PhaseTimer` and a :class:`Heartbeat`.
-    :meth:`scoped` derives a child context whose registry is prefixed
-    (``obs.scoped("l2").scoped("bank3")``) while the trace bus, timer
-    and heartbeat stay shared — scoping is a naming concern, event
-    ordering is global.
+    :class:`TraceBus`, a :class:`PhaseTimer`, a :class:`Heartbeat` and
+    a :class:`SpanTracker`. :meth:`scoped` derives a child context
+    whose registry is prefixed (``obs.scoped("l2").scoped("bank3")``)
+    while the trace bus, timer, heartbeat and spans stay shared —
+    scoping is a naming concern, event ordering is global.
+
+    Spans default to the disabled :data:`NULL_SPANS` tracker: unlike
+    metrics/trace/profiler, span tracing reads the host clock per
+    span, so it is opt-in per run (the ``timeline`` CLI, or any caller
+    passing an enabled tracker).
     """
 
-    __slots__ = ("metrics", "trace", "profiler", "heartbeat")
+    __slots__ = ("metrics", "trace", "profiler", "heartbeat", "spans")
 
     def __init__(
         self,
@@ -120,11 +145,13 @@ class ObsContext:
         trace: Optional[TraceBus] = None,
         profiler: Optional[PhaseTimer] = None,
         heartbeat: Optional[Heartbeat] = None,
+        spans: Optional[SpanTracker] = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace = trace if trace is not None else TraceBus()
         self.profiler = profiler if profiler is not None else PhaseTimer()
         self.heartbeat = heartbeat if heartbeat is not None else NULL_HEARTBEAT
+        self.spans = spans if spans is not None else NULL_SPANS
 
     @property
     def label(self) -> str:
@@ -138,11 +165,14 @@ class ObsContext:
             trace=self.trace,
             profiler=self.profiler,
             heartbeat=self.heartbeat,
+            spans=self.spans,
         )
 
     def close(self) -> None:
-        """Close the trace sink (flushes JSONL files)."""
+        """Close the trace and span sinks (flushes JSONL files)."""
         self.trace.close()
+        if self.spans is not NULL_SPANS:
+            self.spans.close()
 
     def __enter__(self) -> "ObsContext":
         return self

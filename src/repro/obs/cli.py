@@ -12,6 +12,12 @@ scope covering simulation code.
   file* and summarizes it — for ``fig2`` it additionally rebuilds the
   eviction-priority CDF offline and checks it against the in-process
   result, which is the acceptance test for trace completeness.
+- ``timeline`` runs an experiment under an enabled
+  :class:`~repro.obs.SpanTracker` (ZTrace), exports the stitched span
+  tree as a Perfetto-loadable Chrome trace-event JSON file, and prints
+  the critical-path / straggler report. ``--jobs N`` exercises the
+  cross-process propagation path; ``--check`` turns the schema and
+  coverage assertions into the exit code (the CI smoke step).
 """
 
 from __future__ import annotations
@@ -67,7 +73,9 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _run_experiment(args: argparse.Namespace, obs: ObsContext) -> Any:
+def _run_experiment(
+    args: argparse.Namespace, obs: ObsContext, jobs: int = 1
+) -> Any:
     """Run the selected experiment under ``obs``; returns its result."""
     if args.experiment == "fig2":
         from repro.experiments import fig2
@@ -77,6 +85,7 @@ def _run_experiment(args: argparse.Namespace, obs: ObsContext) -> Any:
             accesses=args.instructions,
             seed=args.seed,
             obs=obs,
+            engine=getattr(args, "engine", "reference"),
         )
     from repro.experiments.runner import (
         ExperimentScale,
@@ -94,7 +103,9 @@ def _run_experiment(args: argparse.Namespace, obs: ObsContext) -> Any:
         baseline_design(),
         L2DesignConfig(kind="z", ways=4, levels=2),
     )
-    return run_design_sweep(args.workload, designs, scale=scale, obs=obs)
+    return run_design_sweep(
+        args.workload, designs, scale=scale, obs=obs, jobs=jobs
+    )
 
 
 def run_stats(argv: list[str]) -> int:
@@ -205,3 +216,138 @@ def run_trace(argv: list[str]) -> int:
     for line in lines:
         print(line)
     return 0 if ok else 1
+
+
+#: --check threshold: the stitched tree's children must cover this
+#: fraction of the root span, and the root this fraction of the
+#: CLI-measured wall time
+COVERAGE_FLOOR = 0.90
+
+
+def run_timeline(argv: list[str]) -> int:
+    """``zcache-repro timeline <experiment>`` — ZTrace span timeline.
+
+    Runs the experiment under an enabled span tracker (``--jobs N``
+    fans a sweep across worker processes, exercising cross-process span
+    propagation and stitching), writes the tree as a Chrome
+    trace-event JSON file (drag into https://ui.perfetto.dev), and
+    prints the coverage / phase / utilization report plus, with
+    ``--critical-path``, the longest dependency chain. ``--check``
+    additionally validates the exported JSON against the trace-event
+    schema and requires span coverage of at least 90% of measured wall
+    time, returning a non-zero exit code on violation.
+    """
+    from repro.obs import timeline as tl
+    from repro.obs.spans import SpanTracker
+
+    parser = argparse.ArgumentParser(
+        prog="zcache-repro timeline",
+        description="Run an experiment with ZTrace span tracing, export "
+        "a Perfetto-loadable Chrome trace-event JSON timeline, and "
+        "print critical-path and straggler statistics.",
+    )
+    _add_run_arguments(parser)
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="sweep only: worker processes (cross-process span "
+        "stitching; default 1 = in-process)",
+    )
+    parser.add_argument(
+        "--engine", choices=("reference", "turbo"), default="reference",
+        help="fig2 only: 'turbo' adds per-batch spans via the TurboCore "
+        "batch hook",
+    )
+    parser.add_argument(
+        "--out", type=str, default=None, metavar="PATH",
+        help="trace-event JSON path "
+        "(default: results/timeline_<experiment>.json)",
+    )
+    parser.add_argument(
+        "--critical-path", action="store_true",
+        help="print the longest dependency chain through the span tree",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="validate the exported JSON against the Chrome trace-event "
+        "schema and require >=90%% span coverage of measured wall time "
+        "(non-zero exit on violation)",
+    )
+    args = parser.parse_args(argv)
+
+    # Warm the lazy experiment imports up front: the coverage check
+    # compares the root span to measured wall time, and first-import
+    # cost is not part of the run being attributed.
+    import repro.experiments.fig2  # noqa: F401
+    import repro.experiments.parallel  # noqa: F401
+    import repro.kernels.replay  # noqa: F401
+
+    spans = SpanTracker(seed=args.seed, process="main")
+    obs = ObsContext(
+        spans=spans, heartbeat=Heartbeat(path=args.progress_log)
+    )
+    started = spans.now()
+    try:
+        _run_experiment(args, obs, jobs=args.jobs)
+    finally:
+        wall = spans.now() - started
+        obs.close()
+
+    records = spans.spans()
+    report = tl.analyze(records)
+    out = tl.write_chrome_trace(
+        Path(args.out or f"results/timeline_{args.experiment}.json"), records
+    )
+    root = report.root
+    print(f"timeline: {len(records)} spans -> {out}")
+    print(
+        f"root span '{root.name}': {root.duration * 1e3:.3f} ms of "
+        f"{wall * 1e3:.3f} ms measured wall, child coverage "
+        f"{report.coverage * 100:.1f}%"
+    )
+    if args.critical_path:
+        for line in tl.render_critical_path(report.steps):
+            print(line)
+    print("per-phase durations (p50/p95/max ms):")
+    for name, stats in report.phases.items():
+        print(
+            f"  {name:32s} n={int(stats['count']):4d}  "
+            f"{stats['p50'] * 1e3:9.3f} {stats['p95'] * 1e3:9.3f} "
+            f"{stats['max'] * 1e3:9.3f}"
+        )
+    if report.utilization:
+        print("worker utilization:")
+        for process, stats in report.utilization.items():
+            print(
+                f"  {process:24s} busy {stats['busy'] * 1e3:9.3f} ms  "
+                f"({stats['utilization'] * 100:5.1f}%)"
+            )
+
+    if not args.check:
+        return 0
+    failures: list[str] = []
+    with open(out, encoding="utf-8") as f:
+        payload = json.load(f)
+    failures.extend(tl.validate_chrome_trace(payload))
+    if report.coverage < COVERAGE_FLOOR:
+        failures.append(
+            f"stitched children cover {report.coverage * 100:.1f}% of the "
+            f"root span (< {COVERAGE_FLOOR * 100:.0f}%)"
+        )
+    if wall > 0 and root.duration / wall < COVERAGE_FLOOR:
+        failures.append(
+            f"root span covers {root.duration / wall * 100:.1f}% of "
+            f"measured wall time (< {COVERAGE_FLOOR * 100:.0f}%)"
+        )
+    attributed = sum(s.attributed for s in report.steps)
+    if root.duration > 0 and not (
+        0.999 <= attributed / root.duration <= 1.001
+    ):
+        failures.append(
+            "critical-path attribution does not partition the root span "
+            f"({attributed:.6f}s vs {root.duration:.6f}s)"
+        )
+    for failure in failures:
+        print(f"CHECK FAIL: {failure}")
+    if not failures:
+        print("timeline checks passed (schema, coverage, attribution)")
+    return 1 if failures else 0

@@ -28,10 +28,11 @@ repo's determinism contract (and the ZS005 no-host-clock rule).
 
 from __future__ import annotations
 
+import gzip
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Optional, Union
+from typing import Any, IO, Iterable, Iterator, Optional, Union
 
 
 @dataclass(slots=True, frozen=True)
@@ -197,34 +198,157 @@ class RingBufferSink(TraceSink):
         return self._buf[self._next :] + self._buf[: self._next]
 
 
-class JsonlSink(TraceSink):
-    """Write one JSON object per event to a file (JSON Lines)."""
+def _open_text(path: Path, mode: str) -> IO[str]:
+    """Open a JSONL file for text I/O, gzip-compressed by ``.gz`` suffix."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
 
-    def __init__(self, path: Union[str, Path]) -> None:
+
+def segment_path(path: Union[str, Path], index: int) -> Path:
+    """The ``index``-th rotation segment of a JSONL path.
+
+    Segment 0 is the path itself; later segments insert the index
+    before the extension chain so the ``.gz`` suffix (and therefore
+    transparent compression on read) is preserved::
+
+        trace.jsonl     -> trace.1.jsonl
+        trace.jsonl.gz  -> trace.1.jsonl.gz
+    """
+    path = Path(path)
+    if index == 0:
+        return path
+    name = path.name
+    gz = ""
+    if name.endswith(".gz"):
+        name, gz = name[: -len(".gz")], ".gz"
+    stem, dot, ext = name.rpartition(".")
+    if dot:
+        return path.with_name(f"{stem}.{index}.{ext}{gz}")
+    return path.with_name(f"{name}.{index}{gz}")
+
+
+class JsonlWriter:
+    """Line-oriented JSON writer: gzip by suffix, size-based rotation.
+
+    The shared back-end of :class:`JsonlSink` (trace events) and the
+    span sinks. A ``.gz`` path writes through :mod:`gzip`; full-scale
+    turbo sweeps emit multi-GB traces, and JSON lines compress ~10x.
+    With ``max_bytes`` set, the writer rolls to numbered segment files
+    (:func:`segment_path`) once a segment's *uncompressed* payload
+    would exceed the limit — the threshold is pre-compression so
+    rotation points are deterministic across gzip levels.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], max_bytes: Optional[int] = None
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._file = open(self.path, "w", encoding="utf-8")
+        self.max_bytes = max_bytes
         self.written = 0
+        self._segment = 0
+        self._segment_bytes = 0
+        self.paths: list[Path] = [self.path]
+        self._file: IO[str] = _open_text(self.path, "w")
 
-    def write(self, event: TraceEvent) -> None:
-        """Serialize and append one event line."""
-        self._file.write(json.dumps(event_to_dict(event), sort_keys=True))
+    def _rotate(self) -> None:
+        self._file.close()
+        self._segment += 1
+        self._segment_bytes = 0
+        nxt = segment_path(self.path, self._segment)
+        self.paths.append(nxt)
+        self._file = _open_text(nxt, "w")
+
+    def write_line(self, line: str) -> None:
+        """Append one pre-serialized JSON line (no trailing newline)."""
+        size = len(line) + 1
+        if (
+            self.max_bytes is not None
+            and self._segment_bytes > 0
+            and self._segment_bytes + size > self.max_bytes
+        ):
+            self._rotate()
+        self._file.write(line)
         self._file.write("\n")
+        self._segment_bytes += size
         self.written += 1
 
+    def write_obj(self, obj: dict[str, Any]) -> None:
+        """Serialize and append one JSON object line."""
+        self.write_line(json.dumps(obj, sort_keys=True))
+
     def close(self) -> None:
-        """Flush and close the file (idempotent)."""
+        """Flush and close the current segment (idempotent)."""
         if not self._file.closed:
             self._file.close()
 
 
-def read_jsonl(path: Union[str, Path]) -> Iterator[TraceEvent]:
-    """Parse a :class:`JsonlSink` file back into typed events."""
-    with open(path, encoding="utf-8") as f:
+class JsonlSink(TraceSink):
+    """Write one JSON object per event to a file (JSON Lines).
+
+    A ``.gz`` path is gzip-compressed; ``max_bytes`` enables size-based
+    rotation into numbered segments (see :class:`JsonlWriter`).
+    :func:`read_jsonl` reads both transparently.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], max_bytes: Optional[int] = None
+    ) -> None:
+        self._writer = JsonlWriter(path, max_bytes=max_bytes)
+        self.path = self._writer.path
+
+    @property
+    def written(self) -> int:
+        """Number of events written across all segments."""
+        return self._writer.written
+
+    @property
+    def paths(self) -> list[Path]:
+        """Segment files written so far, in order."""
+        return list(self._writer.paths)
+
+    def write(self, event: TraceEvent) -> None:
+        """Serialize and append one event line."""
+        self._writer.write_obj(event_to_dict(event))
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        self._writer.close()
+
+
+def iter_jsonl_objects(path: Union[str, Path]) -> Iterator[dict[str, Any]]:
+    """Yield the JSON objects of one JSONL file (gzip by ``.gz`` suffix)."""
+    with _open_text(Path(path), "r") as f:
         for line in f:
             line = line.strip()
             if line:
-                yield event_from_dict(json.loads(line))
+                obj = json.loads(line)
+                assert isinstance(obj, dict)
+                yield obj
+
+
+def iter_jsonl_series(path: Union[str, Path]) -> Iterator[dict[str, Any]]:
+    """Yield objects from a JSONL file plus its rotation segments, in order."""
+    index = 0
+    while True:
+        seg = segment_path(path, index)
+        if index > 0 and not seg.exists():
+            return
+        yield from iter_jsonl_objects(seg)
+        index += 1
+
+
+def read_jsonl(path: Union[str, Path]) -> Iterator[TraceEvent]:
+    """Parse a :class:`JsonlSink` output back into typed events.
+
+    Transparently handles gzip-compressed files (``.gz`` suffix) and
+    size-rotated segment series.
+    """
+    for obj in iter_jsonl_series(path):
+        yield event_from_dict(obj)
 
 
 # ---------------------------------------------------------------------------

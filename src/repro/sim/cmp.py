@@ -22,7 +22,7 @@ from typing import Iterator, Optional
 
 from repro.core import Cache, SetAssociativeArray
 from repro.energy.cachecost import CacheCostModel
-from repro.obs import ObsContext
+from repro.obs import NULL_SPANS, ObsContext
 from repro.replacement import LRU
 from repro.sim.config import CMPConfig
 from repro.sim.directory import Directory
@@ -500,51 +500,58 @@ class TraceDrivenRunner:
         """Phase 2: run the captured stream through one L2 design."""
         captured = self.capture()
         cfg = design_cfg
+        spans = obs.spans if obs is not None else NULL_SPANS
         opt_traces = None
         if cfg.l2_design.policy == "opt":
             opt_traces = captured.bank_demand_traces(cfg.l2_banks)
-        l2 = BankedL2(
-            cfg,
-            opt_traces=opt_traces,
-            policy_wrapper=policy_wrapper,
-            obs=obs.scoped("l2") if obs is not None else None,
-        )
+        with spans.span("replay.build", design=cfg.l2_design.label()):
+            l2 = BankedL2(
+                cfg,
+                opt_traces=opt_traces,
+                policy_wrapper=policy_wrapper,
+                obs=obs.scoped("l2") if obs is not None else None,
+            )
         if cfg.engine == "turbo":
             # The captured stream's whole address roster is known up
             # front: hash it through the vectorized H3 path once so the
             # replay loop only takes memo hits on index computations.
             from repro.kernels.replay import prime_trace_hashes
 
-            prime_trace_hashes(l2, captured)
+            with spans.span("replay.prime"):
+                prime_trace_hashes(l2, captured)
         channel = _MemoryChannel(cfg)
         ports = _BankPorts(cfg)
         bank_latency = _bank_latency(cfg)
         cycles = [0] * cfg.num_cores
         accounted = [0] * cfg.num_cores
-        for kind, core, address, is_write, work in captured.events:
-            cycles[core] += work
-            accounted[core] += work
-            if kind == WRITEBACK:
-                l2.writeback(address)
-                continue
-            bank = l2.bank_for(address)
-            if kind == UPGRADE:
+        with spans.span("replay.stream", events=len(captured.events)):
+            for kind, core, address, is_write, work in captured.events:
+                cycles[core] += work
+                accounted[core] += work
+                if kind == WRITEBACK:
+                    l2.writeback(address)
+                    continue
+                bank = l2.bank_for(address)
+                if kind == UPGRADE:
+                    cycles[core] += (
+                        cfg.l1_to_bank_latency(core, bank) + bank_latency
+                    )
+                    cycles[core] += ports.demand(bank, cycles[core])
+                    l2.record_bank_access(bank)
+                    continue
                 cycles[core] += cfg.l1_to_bank_latency(core, bank) + bank_latency
                 cycles[core] += ports.demand(bank, cycles[core])
-                l2.record_bank_access(bank)
-                continue
-            cycles[core] += cfg.l1_to_bank_latency(core, bank) + bank_latency
-            cycles[core] += ports.demand(bank, cycles[core])
-            walk_reads_before = l2.walk_tag_reads
-            outcome = l2.access(address, is_write)
-            if not outcome.hit:
-                ports.walk(
-                    bank, cycles[core], l2.walk_tag_reads - walk_reads_before
-                )
-                cycles[core] += cfg.mem_latency
-                cycles[core] += int(channel.demand(address, cycles[core]))
-                if outcome.writeback:
-                    channel.writeback(outcome.evicted, cycles[core])
+                walk_reads_before = l2.walk_tag_reads
+                outcome = l2.access(address, is_write)
+                if not outcome.hit:
+                    ports.walk(
+                        bank, cycles[core],
+                        l2.walk_tag_reads - walk_reads_before,
+                    )
+                    cycles[core] += cfg.mem_latency
+                    cycles[core] += int(channel.demand(address, cycles[core]))
+                    if outcome.writeback:
+                        channel.writeback(outcome.evicted, cycles[core])
         # Cores spend their residual instructions after the last event.
         instructions = list(captured.instructions)
         for core in range(cfg.num_cores):

@@ -1,0 +1,14 @@
+"""ZS109 clean twin: every span opens as a ``with`` item."""
+
+
+def disciplined(tracker, core):
+    with tracker.span("replay", key="k") as span:
+        with tracker.turbo_batches(core, "fig2", every=8):
+            span.set_attr(status="ok")
+    tracker.record_span("job", start=0.0, end=1.0)
+    return tracker
+
+
+def multi_item(tracker, other):
+    with tracker.span("a"), other.span("b"):
+        return tracker

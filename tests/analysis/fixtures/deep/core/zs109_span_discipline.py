@@ -1,0 +1,23 @@
+"""ZS109 fixture: spans opened outside a ``with`` statement."""
+
+
+def leaky(tracker, core):
+    handle = tracker.span("replay")  # flagged: leaks open on raise
+    tracker.turbo_batches(core, "fig2", every=8)  # flagged: hook leaks
+    return handle
+
+
+def stored_then_entered(tracker):
+    ctx = tracker.span("outer")  # flagged: not directly a with item
+    with ctx:
+        return tracker
+
+
+def nested(tracker):
+    with tracker.span("outer"):
+        inner = tracker.span("inner")  # flagged even under a with
+        return inner
+
+
+def private_opener(tracker):
+    return tracker._start("raw")  # flagged: internal opener in sim code

@@ -34,11 +34,11 @@ def deep_findings(path, code):
 # Registry
 
 
-def test_default_rules_cover_all_eight_codes():
+def test_default_rules_cover_all_nine_codes():
     codes = [r.code for r in default_deep_rules()]
     assert codes == [
         "ZS101", "ZS102", "ZS103", "ZS104",
-        "ZS105", "ZS106", "ZS107", "ZS108",
+        "ZS105", "ZS106", "ZS107", "ZS108", "ZS109",
     ]
 
 
@@ -87,6 +87,7 @@ FLAGGED = [
     ("core/zs106_raise_after_mutation.py", "ZS106", [8, 14]),
     ("zs107_fold_parity.py", "ZS107", [27]),
     ("core/zs108_raw_rng.py", "ZS108", [10, 14, 18]),
+    ("core/zs109_span_discipline.py", "ZS109", [5, 6, 11, 18, 23]),
 ]
 
 CLEAN = [
@@ -98,6 +99,7 @@ CLEAN = [
     ("core/zs106_clean.py", "ZS106"),
     ("zs107_clean.py", "ZS107"),
     ("core/zs108_clean.py", "ZS108"),
+    ("core/zs109_clean.py", "ZS109"),
 ]
 
 

@@ -18,7 +18,7 @@ from repro.experiments.runner import (
     collect_design_sweeps,
     run_design_sweep,
 )
-from repro.obs import ObsContext
+from repro.obs import Heartbeat, ObsContext
 from repro.sim import L2DesignConfig
 
 WORKLOADS = ("gcc", "canneal")
@@ -175,6 +175,34 @@ class TestRobustness:
         clean = mini_sweep(jobs=1)
         for w in clean.sweeps:
             assert clean.sweeps[w].results == outcome.sweeps[w].results
+
+    def test_degraded_heartbeat_reports_serial_fallback(self, tmp_path):
+        # The degraded path must stay observable: every in-parent rerun
+        # beats a "[degraded-serial]" line with aggregate progress.
+        log = tmp_path / "hb.log"
+        obs = ObsContext(heartbeat=Heartbeat(path=log))
+        outcome = mini_sweep(jobs=2, policy_wrapper=lambda p: p, obs=obs)
+        assert outcome.degraded
+        text = log.read_text(encoding="utf-8")
+        n_jobs = len(WORKLOADS) * len(DESIGNS)
+        assert text.count("[degraded-serial]") == n_jobs
+        # progress counters keep aggregating across the fallback
+        assert f"({n_jobs}/{n_jobs})" in text
+        assert obs.heartbeat.beats >= n_jobs
+
+    def test_degraded_phase_timings_fold_into_parent(self):
+        # Serial-fallback jobs run in the parent process, but their
+        # phase timings must land in the same profiler sections the
+        # worker path reports, so wall-time attribution stays whole.
+        obs = ObsContext()
+        outcome = mini_sweep(jobs=2, policy_wrapper=lambda p: p, obs=obs)
+        assert outcome.degraded
+        phases = obs.profiler.report()
+        for w in WORKLOADS:
+            assert any(p.startswith("capture.") and w in p for p in phases)
+        replay = [p for p in phases if p.startswith("replay.")]
+        assert len(replay) == len(WORKLOADS) * len(DESIGNS)
+        assert all(seconds >= 0.0 for seconds in phases.values())
 
     def test_failed_property_empty_on_success(self):
         assert ParallelSweepOutcome().failed == []
