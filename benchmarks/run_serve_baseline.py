@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""Record the ZServe throughput trajectory into ``BENCH_serve.json``.
+
+Replays one workload proxy through the load generator against three
+backends at 1, 2 and 4 worker threads (median of five rounds each):
+
+- ``sharded`` — the real service: hash-partitioned ``TwoPhaseZCache``
+  shards, lock-free reads, walks off-lock, commits under per-shard
+  locks;
+- ``single-lock`` — the naive port: one shard holding one lock across
+  every operation, reads included (``mode="locked"``);
+- ``dict-lru`` — a plain ``OrderedDict`` + LRU + one lock, the
+  strawman any service starts from (no zcache semantics at all).
+
+Both zcache backends get the same *total* capacity, so the comparison
+isolates the locking discipline. The default workload is read-heavy
+at a high hit rate — the regime a cache service actually runs in, and
+the one where the disciplines differ: the sharded service answers
+>95% of requests without touching a lock. (On a single-CPU runner the
+GIL serialises all Python work, so the win is bounded by the per-read
+locking overhead; with true hardware parallelism the single lock
+additionally serialises all shards' walks.)
+
+Asserts the sharded service beats the single-lock one at 2 and 4
+workers, then runs the acceptance soak — 4 threads, >= 100k requests
+over sanitized shards with payload fingerprinting on, zero
+``InvariantViolation`` tolerated — and appends one entry to
+``benchmarks/BENCH_serve.json``. The file is committed: successive
+entries form the persistent trajectory the README quotes.
+
+Not collected by pytest (``run_`` prefix, and ``testpaths`` only covers
+``tests/``); run it by hand when the serve layer changes materially::
+
+    python benchmarks/run_serve_baseline.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+from pathlib import Path
+
+from repro.analysis.sanitizer import make_wrapper
+from repro.serve.baseline import DictLRUServe
+from repro.serve.loadgen import LoadGenConfig, run_loadgen
+from repro.serve.service import ServeConfig, ZServeCache
+
+OUT = Path(__file__).with_name("BENCH_serve.json")
+
+#: per-shard geometry; the single-lock baseline folds all shards'
+#: lines into one so total capacity matches
+NUM_WAYS = 4
+LINES_PER_WAY = 256
+LEVELS = 2
+
+
+def make_backend(kind: str, shards: int):
+    """A fresh backend of the requested kind (equal total capacity)."""
+    if kind == "sharded":
+        return ZServeCache(ServeConfig(
+            num_shards=shards, num_ways=NUM_WAYS,
+            lines_per_way=LINES_PER_WAY, levels=LEVELS, mode="twophase",
+        ))
+    if kind == "single-lock":
+        return ZServeCache(ServeConfig(
+            num_shards=1, num_ways=NUM_WAYS,
+            lines_per_way=LINES_PER_WAY * shards, levels=LEVELS,
+            mode="locked",
+        ))
+    if kind == "dict-lru":
+        return DictLRUServe(capacity=shards * NUM_WAYS * LINES_PER_WAY)
+    raise ValueError(kind)
+
+
+def measure(kinds: tuple, shards: int, workers: int, base: LoadGenConfig,
+            rounds: int) -> list[dict]:
+    """Median-of-``rounds`` replay of ``base`` against every kind.
+
+    Rounds are *interleaved* across the contenders (A B C, A B C, ...)
+    so slow drift in the host's effective speed — very real on shared
+    single-CPU runners — lands on every backend equally instead of
+    favouring whichever ran last. Each round gets a cold backend, and
+    a consistency check runs after every zcache round.
+    """
+    per_kind: dict[str, list] = {kind: [] for kind in kinds}
+    for _ in range(rounds):
+        for kind in kinds:
+            backend = make_backend(kind, shards)
+            cfg = LoadGenConfig(
+                workload=base.workload,
+                num_workers=workers,
+                requests_per_worker=base.requests_per_worker,
+                footprint_blocks=base.footprint_blocks,
+                seed=base.seed,
+            )
+            per_kind[kind].append(run_loadgen(backend, cfg))
+            if isinstance(backend, ZServeCache):
+                backend.check_consistency()
+    rows = []
+    for kind in kinds:
+        results = sorted(per_kind[kind], key=lambda r: r.throughput_rps)
+        out = results[len(results) // 2].to_dict()
+        out["throughput_rps"] = round(
+            statistics.median(r.throughput_rps for r in results), 1)
+        out["p99_us"] = round(
+            statistics.median(r.p99_us for r in results), 2)
+        out["backend_kind"] = kind
+        out["rounds"] = rounds
+        rows.append(out)
+    return rows
+
+
+def soak(shards: int, workers: int, requests_per_worker: int, seed: int) -> dict:
+    """The sanitized acceptance soak: every walk checked, zero tolerance.
+
+    Payload fingerprinting is on (every read re-verifies its value's
+    digest) and the array is wrapped in the ZSan sanitizer. Any
+    ``InvariantViolation`` or fingerprint mismatch escapes
+    ``run_loadgen`` (it re-raises the first worker exception) and
+    aborts the benchmark with a traceback.
+    """
+    svc = ZServeCache(
+        ServeConfig(
+            num_shards=shards, num_ways=NUM_WAYS,
+            lines_per_way=LINES_PER_WAY, levels=LEVELS,
+            mode="twophase", fingerprint=True,
+        ),
+        wrap_array=make_wrapper(seed=seed),
+    )
+    result = run_loadgen(
+        svc,
+        LoadGenConfig(
+            workload="canneal",
+            num_workers=workers,
+            requests_per_worker=requests_per_worker,
+            footprint_blocks=2_048,
+            seed=seed,
+            payload_bytes=256,
+        ),
+    )
+    svc.check_consistency()
+    for shard in svc.shards:
+        shard.cache.array.final_check()
+    snap = svc.snapshot()
+    return {
+        "workers": workers,
+        "requests": result.requests,
+        "throughput_rps": round(result.throughput_rps, 1),
+        "hit_rate": round(result.hit_rate, 4),
+        "stale_retries": snap["stale_retries"],
+        "walk_races": snap["walk_races"],
+        "fallback_fills": snap["fallback_fills"],
+        "violations": 0,  # reaching this line means none were raised
+    }
+
+
+def git_head() -> str:
+    """The current commit id, or 'unknown' outside a work tree."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=Path(__file__).parent,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="blackscholes",
+                        help="read-heavy, cache-friendly proxy (default)")
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=10_000,
+                        help="requests per worker per round")
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--soak-requests", type=int, default=25_000,
+                        help="requests per worker in the sanitized soak")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    base = LoadGenConfig(
+        workload=args.workload,
+        requests_per_worker=args.requests,
+        footprint_blocks=2_048,
+        seed=args.seed,
+    )
+    # Warm-up (allocator, page cache) before anything is timed.
+    run_loadgen(make_backend("sharded", args.shards), LoadGenConfig(
+        workload=args.workload, num_workers=2, requests_per_worker=2_000,
+        footprint_blocks=2_048, seed=args.seed))
+
+    runs = []
+    for workers in (1, 2, 4):
+        for row in measure(("sharded", "single-lock", "dict-lru"),
+                           args.shards, workers, base, args.rounds):
+            runs.append(row)
+            print(
+                f"{row['backend_kind']:>12} x{workers}: "
+                f"{row['throughput_rps']:>10.0f} req/s  "
+                f"p50 {row['p50_us']:.1f}us  p99 {row['p99_us']:.1f}us  "
+                f"hit {row['hit_rate']:.3f}"
+            )
+
+    by = {(r["backend_kind"], r["workers"]): r for r in runs}
+    for workers in (2, 4):
+        sharded = by[("sharded", workers)]["throughput_rps"]
+        single = by[("single-lock", workers)]["throughput_rps"]
+        if sharded <= single:
+            print(
+                f"BENCH ABORTED: sharded ({sharded:.0f} req/s) did not beat "
+                f"single-lock ({single:.0f} req/s) at {workers} workers"
+            )
+            return 1
+
+    soak_workers = 4
+    print(f"soak: {soak_workers} workers x {args.soak_requests} sanitized "
+          "fingerprinted requests ...")
+    soak_row = soak(2, soak_workers, args.soak_requests, args.seed)
+    assert soak_row["requests"] >= 100_000, "soak must cover >=100k requests"
+    print(f"soak: {soak_row['requests']} requests, "
+          f"{soak_row['stale_retries']} stale retries, 0 violations")
+
+    entry = {
+        "commit": git_head(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "workload": args.workload,
+        "shards": args.shards,
+        "geometry": {
+            "num_ways": NUM_WAYS,
+            "lines_per_way": LINES_PER_WAY,
+            "levels": LEVELS,
+        },
+        "runs": runs,
+        "soak": soak_row,
+    }
+    history = []
+    if OUT.exists():
+        history = json.loads(OUT.read_text(encoding="utf-8"))
+    history.append(entry)
+    OUT.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    speedup = (by[("sharded", 4)]["throughput_rps"]
+               / by[("single-lock", 4)]["throughput_rps"])
+    print(f"recorded to {OUT.name}: sharded is {speedup:.2f}x single-lock "
+          "at 4 workers")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

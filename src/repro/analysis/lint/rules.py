@@ -380,9 +380,10 @@ class WallClockGlobalState(LintRule):
     a ``time.time()`` in a simulation path makes results
     machine-dependent. Likewise ``global`` statements introduce hidden
     cross-run state that defeats seed-based reproducibility. The CLI,
-    the analysis tooling, and the observability layer (whose profiler
-    and heartbeat legitimately measure the simulator *process*) are out
-    of scope.
+    the analysis tooling, the observability layer (whose profiler
+    and heartbeat legitimately measure the simulator *process*), and
+    the ZServe service layer (which measures real request latency on
+    real traffic) are out of scope.
     """
 
     code = "ZS005"
@@ -399,11 +400,11 @@ class WallClockGlobalState(LintRule):
 
     @classmethod
     def applies_to(cls, path: Path) -> bool:
-        """Everything except the CLI, analysis, and obs layers."""
+        """Everything except the CLI, analysis, obs and serve layers."""
         posix = path.as_posix()
         if posix.endswith("repro/cli.py"):
             return False
-        if "repro/obs" in posix:
+        if "repro/obs" in posix or "repro/serve" in posix:
             return False
         return "repro/analysis" not in posix
 

@@ -13,6 +13,8 @@ Examples::
     zcache-repro trace fig2 --instructions 2000
     zcache-repro timeline sweep --jobs 2 --out trace.json --critical-path
     zcache-repro sweep --jobs 4 --workloads canneal,gcc --checkpoint ck.json
+    zcache-repro serve --shards 8 --port 9401
+    zcache-repro loadgen --workload canneal --workers 4 --sanitize
 
 ``lint`` and ``check`` are the correctness-tooling subcommands (the
 ZSan static analyzer and the runtime invariant sanitizer; see
@@ -69,6 +71,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.parallel import run_sweep_cli
 
         return run_sweep_cli(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import run_serve_cli
+
+        return run_serve_cli(argv[1:])
+    if argv and argv[0] == "loadgen":
+        from repro.serve.cli import run_loadgen_cli
+
+        return run_loadgen_cli(argv[1:])
     parser = argparse.ArgumentParser(
         prog="zcache-repro",
         description="Reproduce the tables and figures of the zcache paper "
@@ -84,7 +94,10 @@ def main(argv: list[str] | None = None) -> int:
         "'zcache-repro timeline <experiment> [--jobs N]' (ZTrace span "
         "timeline: Perfetto trace-event export + critical-path report) "
         "and 'zcache-repro sweep --jobs N' (parallel design sweep with "
-        "checkpoint/resume); each has its own --help.",
+        "checkpoint/resume); 'zcache-repro serve' boots the ZServe "
+        "concurrent key-value cache over TCP and 'zcache-repro loadgen' "
+        "replays a workload proxy against it, reporting throughput and "
+        "latency percentiles; each has its own --help.",
     )
     parser.add_argument(
         "experiment",

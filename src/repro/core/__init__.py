@@ -24,7 +24,7 @@ from repro.core.fullyassoc import FullyAssociativeArray
 from repro.core.randomcand import RandomCandidatesArray
 from repro.core.setassoc import SetAssociativeArray
 from repro.core.skew import SkewAssociativeArray
-from repro.core.twophase import TwoPhaseZCache
+from repro.core.twophase import StaleWalkError, TwoPhaseZCache
 from repro.core.victim import VictimCache
 from repro.core.zcache import ZCacheArray, replacement_candidates
 
@@ -41,6 +41,7 @@ __all__ = [
     "SkewAssociativeArray",
     "ZCacheArray",
     "TwoPhaseZCache",
+    "StaleWalkError",
     "AdaptiveZCache",
     "FullyAssociativeArray",
     "RandomCandidatesArray",

@@ -182,6 +182,16 @@ class CacheArray(abc.ABC):
         """Position of ``address`` if resident, else None."""
         return self._pos.get(address)
 
+    def read_position(self, pos: Position) -> Optional[int]:
+        """Resident block address at ``pos`` (None for an empty line).
+
+        The public read used by the two-phase freshness check: a
+        prepared walk records (position, address) pairs, and a commit
+        must re-verify every one of them against current state before
+        mutating anything.
+        """
+        return self._read(pos)
+
     def __contains__(self, address: int) -> bool:
         return address in self._pos
 

@@ -328,9 +328,53 @@ class Cache:
             self._dirty.add(address)
         return result
 
+    def probe(self, address: int, is_write: bool = False) -> bool:
+        """Perform a lookup-only access: a hit behaves exactly like
+        :meth:`access`, a miss is counted but triggers **no** fill.
+
+        This is the read path of a cache-aside service (ZServe): a
+        ``get`` must not allocate — the client reacts to the miss (e.g.
+        by computing the value and ``put``-ing it back). Returns True
+        on a hit.
+        """
+        if self._turbo is not None:
+            raise RuntimeError(
+                "probe requires the reference engine; construct the "
+                "cache with engine='reference'"
+            )
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        self._c_accesses.value += 1
+        if is_write:
+            self._c_writes.value += 1
+        else:
+            self._c_reads.value += 1
+        # Hit or miss, the lookup reads one tag per way; a probe has no
+        # walk to fold the miss-side tag reads into, so both branches
+        # account them here.
+        self._c_tag_reads.value += self.array.num_ways
+        if self.array.lookup(address) is not None:
+            self._c_hits.value += 1
+            if is_write:
+                self._c_data_writes.value += 1
+                self._dirty.add(address)
+            else:
+                self._c_data_reads.value += 1
+            self.policy.on_access(address, is_write)
+            if self._trace is not None:
+                self._trace.access(self._label, address, is_write, True)
+            return True
+        self._c_misses.value += 1
+        if self._trace is not None:
+            self._trace.access(self._label, address, is_write, False)
+            self._trace.miss(self._label, address, is_write)
+        return False
+
     def _fill(self, address: int) -> AccessResult:
+        return self._fill_with(address, self.array.build_replacement(address))
+
+    def _fill_with(self, address: int, repl: Replacement) -> AccessResult:
         sc = self._sc
-        repl = self.array.build_replacement(address)
         sc["walk_tag_reads"].value += repl.tag_reads
         self._c_tag_reads.value += repl.tag_reads
         if self._trace is not None:

@@ -32,6 +32,17 @@ from repro.obs import ObsContext
 from repro.replacement.base import ReplacementPolicy
 
 
+class StaleWalkError(RuntimeError):
+    """A prepared walk no longer matches the array and must be redone.
+
+    Raised by :meth:`TwoPhaseZCache.commit_prepared` *before any
+    mutation* when the freshness check rejects a plan. Distinct from
+    the array's internal stale-path ``RuntimeError`` (which the
+    controller handles in-band) so callers running the concurrent
+    off-lock discipline can retry without a bare ``except``.
+    """
+
+
 class TwoPhaseZCache(Cache):
     """A :class:`Cache` whose misses run the two-phase replacement.
 
@@ -48,7 +59,11 @@ class TwoPhaseZCache(Cache):
         obs: Optional[ObsContext] = None,
         engine: str = "reference",
     ) -> None:
-        if not isinstance(array, ZCacheArray):
+        # Accept the array itself or a sanitizer-style proxy exposing
+        # the wrapped array as ``.array`` (ZServe's soak harness wraps
+        # every shard in the ZSan runtime sanitizer).
+        unwrapped = getattr(array, "array", array)
+        if not isinstance(unwrapped, ZCacheArray):
             raise TypeError("TwoPhaseZCache requires a ZCacheArray")
         # ``engine="turbo"`` is accepted for interface symmetry but the
         # two-phase protocol has no kernel implementation, so
@@ -74,9 +89,92 @@ class TwoPhaseZCache(Cache):
         """Commits retried because a recorded walk path went stale."""
         return self._c_stale_retries.value
 
+    # -- off-lock service surface (ZServe) ----------------------------------
+    #
+    # The concurrent discipline from "Limited Associativity Makes
+    # Concurrent Software Caches a Breeze": the walk (candidate
+    # collection) runs *outside* the shard lock, then the commit
+    # re-validates the recorded (position, address) pairs *under* the
+    # lock and either applies the relocations or rejects the plan as
+    # stale. Nothing here is used by the simulator paths — ``access``
+    # remains the single-threaded protocol and is bit-identical to the
+    # pre-split behaviour.
+
+    def prepare_fill(self, address: int) -> Replacement:
+        """Phase 1: walk the array and record candidates, mutating nothing.
+
+        Safe to call without holding the owning shard's lock: the walk
+        only reads. A concurrent commit can make the returned plan
+        stale — :meth:`commit_prepared` detects that and raises
+        :class:`StaleWalkError` so the caller can re-prepare.
+        """
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        return self.array.build_replacement(address)
+
+    def plan_is_fresh(self, repl: Replacement) -> bool:
+        """True when every recorded candidate still matches the array.
+
+        A plan is stale when the incoming block became resident (a
+        racing fill won) or any walked position no longer holds the
+        block the walk saw there (an invalidation or another commit's
+        relocation moved it). Callers must hold the shard lock for the
+        answer to remain true through a subsequent commit.
+        """
+        if repl.incoming in self.array:
+            return False
+        array = self.array
+        for cand in repl.candidates:
+            if array.read_position(cand.position) != cand.address:
+                return False
+        return True
+
+    def commit_prepared(  # zspec: atomic
+        self, address: int, repl: Replacement, is_write: bool = False
+    ) -> AccessResult:
+        """Phase 2: validate a prepared plan and commit it under the lock.
+
+        Three outcomes:
+
+        - the block became resident since the walk → a plain hit, scored
+          and counted exactly like :meth:`access`;
+        - the plan went stale → ``stale_retries`` is bumped and
+          :class:`StaleWalkError` raised, with **no** array mutation
+          (the atomic marker covers the counter bump before the raise);
+        - the plan is fresh → the miss is counted and the fill commits
+          through the normal two-phase replacement.
+        """
+        if address != repl.incoming:
+            raise ValueError(
+                f"plan was prepared for {repl.incoming:#x}, "
+                f"not {address:#x}"
+            )
+        if self.array.lookup(address) is not None:
+            return self.access(address, is_write)
+        if not self.plan_is_fresh(repl):
+            self._c_stale_retries.value += 1
+            raise StaleWalkError(
+                f"prepared walk for {address:#x} went stale; re-prepare"
+            )
+        self._c_accesses.value += 1
+        if is_write:
+            self._c_writes.value += 1
+        else:
+            self._c_reads.value += 1
+        self._c_misses.value += 1
+        if self._trace is not None:
+            self._trace.access(self._label, address, is_write, False)
+            self._trace.miss(self._label, address, is_write)
+        result = self._fill_with(address, repl)
+        if is_write and not result.bypassed:
+            self._dirty.add(address)
+        return result
+
     def _fill(self, address: int) -> AccessResult:
+        return self._fill_with(address, self.array.build_replacement(address))
+
+    def _fill_with(self, address: int, repl: Replacement) -> AccessResult:
         sc = self._sc
-        repl = self.array.build_replacement(address)
         sc["walk_tag_reads"].value += repl.tag_reads
         self._c_tag_reads.value += repl.tag_reads
         if self._trace is not None:

@@ -48,10 +48,16 @@ if TYPE_CHECKING:
 def replacement_candidates(num_ways: int, levels: int) -> int:
     """Paper formula: R = W * sum_{l=0}^{L-1} (W-1)^l, assuming no repeats.
 
-    A one-level walk (L=1) is a skew-associative cache: R = W.
+    A one-level walk (L=1) is a skew-associative cache: R = W. The walk
+    needs at least two ways: with W=1 there are no alternative
+    positions to expand into and the formula degenerates to R=1 for
+    every L, which silently misrepresents the geometry — so it is
+    rejected rather than returned.
     """
-    if num_ways < 1:
-        raise ValueError(f"num_ways must be >= 1, got {num_ways}")
+    if num_ways < 2:
+        raise ValueError(
+            f"num_ways must be >= 2 for a zcache walk, got {num_ways}"
+        )
     if levels < 1:
         raise ValueError(f"levels must be >= 1, got {levels}")
     return num_ways * sum((num_ways - 1) ** l for l in range(levels))
@@ -74,15 +80,16 @@ def expected_relocations(num_ways: int, levels: int) -> float:
 
 
 def levels_for_candidates(num_ways: int, target: int) -> int:
-    """Smallest walk depth L such that R(W, L) >= target."""
+    """Smallest walk depth L such that R(W, L) >= target.
+
+    ``num_ways`` is validated by :func:`replacement_candidates` (>= 2);
+    R(W, L) is then strictly increasing in L — R(2, L) = 2L, more ways
+    grow geometrically — so the loop always terminates.
+    """
     if target < 1:
         raise ValueError(f"target must be >= 1, got {target}")
     levels = 1
     while replacement_candidates(num_ways, levels) < target:
-        if num_ways <= 2 and levels > target:
-            raise ValueError(
-                f"{num_ways}-way zcache cannot reach {target} candidates"
-            )
         levels += 1
     return levels
 

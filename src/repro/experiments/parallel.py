@@ -239,7 +239,14 @@ def _sweep_fingerprint(
     scale: ExperimentScale,
     jobs: Sequence[SweepJob],
 ) -> dict:
-    """Identity of a sweep: same fingerprint == checkpoint is resumable."""
+    """Identity of a sweep: same fingerprint == checkpoint is resumable.
+
+    The engine is part of the identity: both engines are bit-identical
+    *when supported*, but a turbo run silently falls back per-cache for
+    unsupported configurations, so resuming a reference checkpoint
+    under ``--engine turbo`` (or vice versa) would mix results whose
+    provenance can no longer be told apart.
+    """
     return {
         "version": CHECKPOINT_VERSION,
         "seed": scale.seed,
@@ -247,6 +254,7 @@ def _sweep_fingerprint(
         "num_cores": cfg.num_cores,
         "l2_blocks": cfg.l2_blocks,
         "l2_banks": cfg.l2_banks,
+        "engine": cfg.engine,
         "jobs": sorted(j.key for j in jobs),
     }
 

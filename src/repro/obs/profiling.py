@@ -123,6 +123,13 @@ class Heartbeat:
         self.stream = stream
         self.min_interval = min_interval
         self.enabled = self.path is not None or self.stream is not None
+        if self.path is not None:
+            # Fail fast on an unwritable location (matching the JSONL
+            # sink, which mkdirs in its constructor) rather than
+            # surfacing it at the first rate-limit-passing beat deep
+            # into a sweep. ``beat`` keeps its own mkdir: the directory
+            # can be removed between construction and use.
+            self.path.parent.mkdir(parents=True, exist_ok=True)
         self.beats = 0
         self._start = time.perf_counter() if self.enabled else 0.0
         self._last = -float("inf")

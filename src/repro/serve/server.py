@@ -1,0 +1,156 @@
+"""Threaded TCP front end speaking a one-line text protocol.
+
+One request per line, one reply per line, UTF-8, space-delimited
+tokens (keys and values must not contain whitespace — the loadgen and
+smoke clients use hex tokens):
+
+=====================  =======================================
+request                reply
+=====================  =======================================
+``GET <key>``          ``HIT <value>`` or ``MISS``
+``PUT <key> <value>``  ``OK``
+``DEL <key>``          ``OK 1`` (was cached) / ``OK 0``
+``STATS``              one JSON object
+``PING``               ``PONG``
+anything else          ``ERR <reason>``
+=====================  =======================================
+
+The server is a stock :class:`socketserver.ThreadingTCPServer`: one
+thread per connection, all of them hammering the shared
+:class:`~repro.serve.service.ZServeCache` — which is the point; the
+shard locks are the only synchronization.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Any, Optional
+
+from repro.serve.service import ZServeCache
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read request lines until EOF."""
+
+    server: "ZServeServer"
+
+    def handle(self) -> None:
+        while True:
+            raw = self.rfile.readline()
+            if not raw:
+                return
+            reply = self.server.dispatch(raw.decode("utf-8", "replace"))
+            self.wfile.write(reply.encode("utf-8") + b"\n")
+
+
+class ZServeServer(socketserver.ThreadingTCPServer):
+    """The service bound to a socket. ``port=0`` picks a free port."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        cache: ZServeCache,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.cache = cache
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — resolved even when ``port=0``."""
+        host, port = self.server_address[:2]
+        return str(host), int(port)
+
+    def dispatch(self, line: str) -> str:
+        """Execute one protocol line and return the reply line."""
+        parts = line.split()
+        if not parts:
+            return "ERR empty request"
+        op = parts[0].upper()
+        if op == "GET" and len(parts) == 2:
+            hit, value = self.cache.get(parts[1])
+            return f"HIT {value}" if hit else "MISS"
+        if op == "PUT" and len(parts) == 3:
+            self.cache.put(parts[1], parts[2])
+            return "OK"
+        if op == "DEL" and len(parts) == 2:
+            return f"OK {int(self.cache.invalidate(parts[1]))}"
+        if op == "STATS" and len(parts) == 1:
+            return json.dumps(self.cache.snapshot(), sort_keys=True)
+        if op == "PING" and len(parts) == 1:
+            return "PONG"
+        return f"ERR bad request: {line.strip()[:80]!r}"
+
+    def serve_in_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread (tests / smoke)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="zserve", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+class ServeClient:
+    """Minimal blocking client for the line protocol."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, line: str) -> str:
+        """Send one protocol line and return the reply line."""
+        self._file.write(line.encode("utf-8") + b"\n")
+        self._file.flush()
+        reply = self._file.readline()
+        if not reply:
+            raise ConnectionError("server closed the connection")
+        return reply.decode("utf-8").rstrip("\n")
+
+    def get(self, key: str) -> Optional[str]:
+        """The cached value, or None on a miss."""
+        reply = self.request(f"GET {key}")
+        if reply == "MISS":
+            return None
+        if reply.startswith("HIT "):
+            return reply[4:]
+        raise ValueError(f"unexpected reply: {reply!r}")
+
+    def put(self, key: str, value: str) -> None:
+        """Install or overwrite ``key``."""
+        reply = self.request(f"PUT {key} {value}")
+        if reply != "OK":
+            raise ValueError(f"unexpected reply: {reply!r}")
+
+    def delete(self, key: str) -> bool:
+        """Invalidate ``key``; True when it was cached."""
+        reply = self.request(f"DEL {key}")
+        if reply not in ("OK 0", "OK 1"):
+            raise ValueError(f"unexpected reply: {reply!r}")
+        return reply == "OK 1"
+
+    def stats(self) -> dict[str, Any]:
+        """The server's aggregate statistics dict."""
+        out = json.loads(self.request("STATS"))
+        assert isinstance(out, dict)
+        return out
+
+    def ping(self) -> bool:
+        """Liveness check."""
+        return self.request("PING") == "PONG"
+
+    def close(self) -> None:
+        """Close the connection."""
+        self._file.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

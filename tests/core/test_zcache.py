@@ -19,9 +19,6 @@ class TestCandidateFormula:
         assert replacement_candidates(4, 2) == 16  # Z4/16
         assert replacement_candidates(4, 3) == 52  # Z4/52
 
-    def test_direct_mapped_degenerate(self):
-        assert replacement_candidates(1, 5) == 1
-
     def test_two_way(self):
         # W=2: each level adds 2 candidates... R = 2 * L.
         assert replacement_candidates(2, 3) == 6
@@ -31,11 +28,35 @@ class TestCandidateFormula:
         assert levels_for_candidates(4, 17) == 3
         assert levels_for_candidates(4, 52) == 3
 
+    def test_levels_for_candidates_two_way(self):
+        # R(2, L) = 2L grows linearly but always reaches the target.
+        assert levels_for_candidates(2, 6) == 3
+        assert levels_for_candidates(2, 7) == 4
+
     def test_rejects_bad_args(self):
         with pytest.raises(ValueError):
             replacement_candidates(0, 2)
         with pytest.raises(ValueError):
             replacement_candidates(4, 0)
+
+    def test_rejects_degenerate_geometry(self):
+        # A 1-way "zcache" has no alternative positions: R degenerates
+        # to 1 for every L. It used to be silently returned; the
+        # formula now rejects it (pinned messages — callers match them).
+        with pytest.raises(
+            ValueError, match=r"num_ways must be >= 2 for a zcache walk, got 1"
+        ):
+            replacement_candidates(1, 5)
+        with pytest.raises(
+            ValueError, match=r"num_ways must be >= 2 for a zcache walk, got 1"
+        ):
+            levels_for_candidates(1, 4)
+        with pytest.raises(ValueError, match=r"levels must be >= 1, got 0"):
+            replacement_candidates(4, 0)
+        with pytest.raises(ValueError, match=r"levels must be >= 1, got -1"):
+            replacement_candidates(4, -1)
+        with pytest.raises(ValueError, match=r"target must be >= 1, got 0"):
+            levels_for_candidates(4, 0)
 
 
 class TestWalk:

@@ -19,7 +19,7 @@ from repro.experiments.runner import (
     run_design_sweep,
 )
 from repro.obs import Heartbeat, ObsContext
-from repro.sim import L2DesignConfig
+from repro.sim import CMPConfig, L2DesignConfig
 
 WORKLOADS = ("gcc", "canneal")
 DESIGNS = (
@@ -129,6 +129,27 @@ class TestCheckpoint:
         )
         again = mini_sweep(jobs=1, checkpoint=str(path), scale=stale_scale)
         assert again.restored == 0
+
+    def test_engine_change_invalidates_checkpoint(self, tmp_path):
+        # The turbo engine silently falls back to reference for designs
+        # it cannot vectorize, so a checkpoint written under one engine
+        # must never seed a resume under the other: mixed-engine result
+        # sets would be unattributable. The fingerprint carries the
+        # engine to force a clean re-run instead.
+        path = tmp_path / "ck.json"
+        first = mini_sweep(
+            jobs=1, checkpoint=str(path), cfg=CMPConfig(engine="reference")
+        )
+        assert first.restored == 0 and path.exists()
+        again = mini_sweep(
+            jobs=1, checkpoint=str(path), cfg=CMPConfig(engine="turbo")
+        )
+        assert again.restored == 0
+        # Same engine again: the rewritten checkpoint is honoured.
+        third = mini_sweep(
+            jobs=1, checkpoint=str(path), cfg=CMPConfig(engine="turbo")
+        )
+        assert third.restored == len(again.outcomes)
 
     def test_corrupt_checkpoint_is_ignored(self, tmp_path):
         path = tmp_path / "ck.json"

@@ -89,3 +89,20 @@ class TestHeartbeat:
         hb = Heartbeat.from_env()
         hb.beat("hello")
         assert "hello" in log.read_text()
+
+    def test_construction_creates_missing_parents(self, tmp_path):
+        # Fail fast on an unwritable location: the parent chain is
+        # created when the heartbeat is built, not on the first beat
+        # hours into a sweep (mirroring the JSONL sink's constructor).
+        log = tmp_path / "deep" / "nested" / "run" / "progress.log"
+        assert not log.parent.exists()
+        Heartbeat(path=log)
+        assert log.parent.is_dir()
+
+    def test_from_env_creates_missing_parents(self, tmp_path, monkeypatch):
+        log = tmp_path / "not" / "yet" / "there" / "hb.log"
+        monkeypatch.setenv(PROGRESS_LOG_ENV, str(log))
+        hb = Heartbeat.from_env()
+        assert log.parent.is_dir()
+        hb.beat("alive", done=1, total=2)
+        assert "alive (1/2)" in log.read_text()

@@ -1,0 +1,94 @@
+"""Tests for the TCP front end and its line protocol."""
+
+import threading
+
+import pytest
+
+from repro.serve.server import ServeClient, ZServeServer
+from repro.serve.service import ServeConfig, ZServeCache
+
+
+@pytest.fixture()
+def server():
+    cache = ZServeCache(ServeConfig(num_shards=2, lines_per_way=32))
+    srv = ZServeServer(cache, port=0)
+    srv.serve_in_background()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.address
+    with ServeClient(host, port) as c:
+        yield c
+
+
+class TestProtocol:
+    def test_ping(self, client):
+        assert client.ping() is True
+
+    def test_put_get_roundtrip(self, client):
+        client.put("k1", "v1")
+        assert client.get("k1") == "v1"
+        assert client.get("missing") is None
+
+    def test_delete(self, client):
+        client.put("k", "v")
+        assert client.delete("k") is True
+        assert client.delete("k") is False
+        assert client.get("k") is None
+
+    def test_stats(self, client):
+        client.put("k", "v")
+        client.get("k")
+        stats = client.stats()
+        assert stats["shards"] == 2
+        assert stats["hits"] >= 1
+
+    def test_bad_requests_get_err(self, client):
+        assert client.request("BOGUS").startswith("ERR")
+        assert client.request("GET too many args").startswith("ERR")
+        assert client.request("") == "ERR empty request"
+        # The connection survives a bad request.
+        assert client.ping() is True
+
+    def test_dispatch_without_socket(self):
+        # The protocol logic is testable without any networking.
+        cache = ZServeCache(ServeConfig(num_shards=1, lines_per_way=16))
+        srv = ZServeServer.__new__(ZServeServer)
+        srv.cache = cache
+        assert srv.dispatch("PING") == "PONG"
+        assert srv.dispatch("PUT a 1") == "OK"
+        assert srv.dispatch("GET a") == "HIT 1"
+        assert srv.dispatch("DEL a") == "OK 1"
+        assert srv.dispatch("GET a") == "MISS"
+        assert srv.dispatch("") == "ERR empty request"
+
+
+class TestConcurrentClients:
+    def test_parallel_connections(self, server):
+        host, port = server.address
+        errors = []
+
+        def hammer(base):
+            try:
+                with ServeClient(host, port) as c:
+                    for i in range(150):
+                        key = f"k{(base * 37 + i) % 500}"
+                        c.put(key, f"v{i}")
+                        c.get(key)
+                    assert c.ping()
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        server.cache.check_consistency()

@@ -1,0 +1,161 @@
+"""Tests for one shard: the lock + two-phase cache + payload store."""
+
+import threading
+
+import pytest
+
+from repro.analysis.sanitizer import make_wrapper
+from repro.serve.shard import MISS, CacheShard, payload_digest
+
+
+class TestBasicOps:
+    def test_get_miss_does_not_allocate(self):
+        shard = CacheShard(lines_per_way=16)
+        assert shard.get(1) is MISS
+        assert len(shard) == 0
+        assert shard._c_read_misses.value == 1
+
+    def test_put_then_get(self):
+        shard = CacheShard(lines_per_way=16)
+        shard.put(1, "k1", "v1")
+        assert shard.get(1) == "v1"
+        assert len(shard) == 1
+
+    def test_put_overwrites(self):
+        shard = CacheShard(lines_per_way=16)
+        shard.put(1, "k", "old")
+        shard.put(1, "k", "new")
+        assert shard.get(1) == "new"
+        assert len(shard) == 1
+
+    def test_none_is_storable(self):
+        shard = CacheShard(lines_per_way=16)
+        shard.put(1, "k", None)
+        assert shard.get(1) is None
+        assert shard.get(2) is MISS
+
+    def test_invalidate(self):
+        shard = CacheShard(lines_per_way=16)
+        shard.put(1, "k", "v")
+        assert shard.invalidate(1) is True
+        assert shard.get(1) is MISS
+        assert shard.invalidate(1) is False
+        assert len(shard) == 0
+
+    def test_single_lock_mode(self):
+        shard = CacheShard(lines_per_way=16, two_phase=False)
+        for i in range(100):
+            shard.put(i, i, i * 2)
+        hits = sum(1 for i in range(100) if shard.get(i) is not MISS)
+        assert hits > 0
+        shard.check_consistency()
+
+
+class TestEvictionBookkeeping:
+    def test_payloads_follow_evictions(self):
+        # Tiny shard, big working set: every resident block must have
+        # its payload and no payload may outlive its block.
+        shard = CacheShard(num_ways=4, lines_per_way=8, hash_seed=5)
+        for i in range(2_000):
+            shard.put(i, i, i)
+        assert len(shard) <= 32
+        shard.check_consistency()
+
+    def test_resident_values_are_correct_after_churn(self):
+        shard = CacheShard(num_ways=4, lines_per_way=8, hash_seed=5)
+        for i in range(500):
+            shard.put(i, i, i * 3)
+        for addr in list(shard.cache.resident()):
+            assert shard.get(addr) == addr * 3
+
+    def test_consistency_check_detects_orphans(self):
+        shard = CacheShard(lines_per_way=16)
+        shard.put(1, "k", "v")
+        shard._entries[999] = ("zombie", "zombie")
+        with pytest.raises(AssertionError, match="out of sync"):
+            shard.check_consistency()
+
+
+class TestFingerprint:
+    def test_digest_only_covers_bytes(self):
+        assert payload_digest(b"abc") == payload_digest(bytearray(b"abc"))
+        assert payload_digest("abc") is None
+        assert payload_digest(42) is None
+
+    def test_roundtrip_with_fingerprint(self):
+        shard = CacheShard(lines_per_way=16, fingerprint=True)
+        shard.put(1, "k", b"payload")
+        assert shard.get(1) == b"payload"
+        shard.put(2, "k2", 99)  # non-bytes payloads skip the digest
+        assert shard.get(2) == 99
+
+    def test_corrupted_payload_is_detected_on_read(self):
+        shard = CacheShard(lines_per_way=16, fingerprint=True)
+        shard.put(1, "k", b"good")
+        key, _, fp = shard._entries[1]
+        shard._entries[1] = (key, b"evil", fp)
+        with pytest.raises(AssertionError, match="fingerprint mismatch"):
+            shard.get(1)
+
+    def test_locked_mode_verifies_too(self):
+        shard = CacheShard(lines_per_way=16, two_phase=False, fingerprint=True)
+        shard.put(1, "k", b"good")
+        assert shard.get(1) == b"good"
+        key, _, fp = shard._entries[1]
+        shard._entries[1] = (key, b"evil", fp)
+        with pytest.raises(AssertionError, match="fingerprint mismatch"):
+            shard.get(1)
+
+
+class TestConcurrentShard:
+    def test_concurrent_puts_converge(self):
+        shard = CacheShard(num_ways=4, lines_per_way=64, hash_seed=2)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(1_500):
+                    addr = (base * 7 + i * 13) % 4_096
+                    shard.put(addr, addr, addr)
+                    shard.get((addr * 31) % 4_096)
+            except BaseException as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        shard.check_consistency()
+        shard.cache.array.check_invariants()
+
+    def test_concurrent_puts_sanitized(self):
+        shard = CacheShard(
+            num_ways=4,
+            lines_per_way=32,
+            hash_seed=3,
+            wrap_array=make_wrapper(seed=3),
+        )
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(800):
+                    addr = (base * 11 + i * 17) % 2_048
+                    shard.put(addr, addr, addr)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, f"sanitizer violation under the shard lock: {errors[0]}"
+        shard.check_consistency()
+        shard.cache.array.final_check()
