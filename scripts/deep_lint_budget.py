@@ -3,9 +3,9 @@
 
 Four claims are pinned on every push:
 
-1. **Zero findings** — ``src/repro`` is deep-clean under ZS101-ZS109,
-   effect rules included (the enforcement half of the ZProve deal,
-   same as the per-file self-lint).
+1. **Zero findings** — ``src/repro`` is deep-clean under ZS101-ZS113,
+   effect and race rules included (the enforcement half of the ZProve
+   deal, same as the per-file self-lint).
 2. **Cold budget** — a from-scratch whole-program run fits inside a
    wall-time budget, normalized by the same pure-Python calibration
    loop ``scripts/obs_guard.py`` uses, so the bar is meaningful on
@@ -15,8 +15,9 @@ Four claims are pinned on every push:
    than the cold one. This is the incrementality contract: if a
    refactor accidentally invalidates the cache on unchanged trees, CI
    fails here rather than just getting slower.
-4. **Effect pass engaged** — the default rule set the budgets price in
-   includes the interprocedural effect rules (ZS105-ZS108), and a
+4. **Effect and race passes engaged** — the default rule set the
+   budgets price in includes the interprocedural effect rules
+   (ZS105-ZS108) *and* the ZRace lockset rules (ZS110-ZS113), and a
    cache written under a *different* rule set is rejected wholesale: a
    run against a doctored ``rules_hash`` must re-analyze every module.
    Without this, editing a rule could silently replay stale findings
@@ -73,7 +74,7 @@ def timed_deep_run(target: Path, cache_path: Path):
 
 
 def check_effect_pass(target: Path, cache_path: Path) -> list[str]:
-    """Claim 4: effect rules in the default set; rules-hash invalidation."""
+    """Claim 4: effect/race rules in the default set; hash invalidation."""
     import json
 
     from repro.analysis.semantic import default_deep_rules, rules_signature
@@ -85,6 +86,12 @@ def check_effect_pass(target: Path, cache_path: Path) -> list[str]:
         failures.append(
             f"effect rules missing from the default deep set: "
             f"{sorted(effect_codes - codes)}"
+        )
+    race_codes = {"ZS110", "ZS111", "ZS112", "ZS113"}
+    if not race_codes <= codes:
+        failures.append(
+            f"race rules missing from the default deep set: "
+            f"{sorted(race_codes - codes)}"
         )
 
     payload = json.loads(cache_path.read_text(encoding="utf-8"))

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI gate: the ZServe stack serves real traffic without violations.
 
-Three checks, each exercising a different layer of the serve stack:
+Four checks, each exercising a different layer of the serve stack:
 
 1. **Sanitized concurrent replay** — a 2-shard service with every
    array wrapped in the ZSan runtime sanitizer and payload
@@ -17,6 +17,12 @@ Three checks, each exercising a different layer of the serve stack:
    ``mode="locked"`` lands the same resident set as two-phase mode
    (same geometry, same seeds): the concurrency discipline must not
    change what the cache *does*, only how it locks.
+4. **Dynamic lockset checker** — ZRace's Eraser-style sanitizer
+   (:mod:`repro.analysis.lockset`) instruments a shard, drives
+   threaded traffic through it, and must come back with zero reports;
+   then a shard whose ``put`` deliberately skips the lock must be
+   flagged as a lockset race. The detector proving it *can* fire is
+   what makes its silence on the real shard evidence.
 
 Exit 0 when everything holds, 1 with a message otherwise. Scales are
 small on purpose — ``benchmarks/run_serve_baseline.py`` carries the
@@ -140,6 +146,30 @@ def check_mode_parity() -> str:
     return f"parity: {len(resident['locked'])} resident blocks identical"
 
 
+def check_lockset() -> str:
+    """Dynamic race detection: clean on the real shard, loud on a bad one."""
+    from repro.analysis.lockset import (
+        instrumented_replay,
+        planted_unlocked_replay,
+    )
+
+    clean = instrumented_replay(ops=1_000, threads=4, seed=11)
+    if clean.reports:
+        raise AssertionError(
+            "lockset sanitizer reported on the production shard: "
+            + "; ".join(r.detail for r in clean.reports)
+        )
+    planted = planted_unlocked_replay(ops=800, threads=2, seed=11)
+    if not planted.reports:
+        raise AssertionError(
+            "lockset sanitizer did not flag the planted unlocked shard"
+        )
+    return (
+        f"lockset: {clean.accesses} tracked accesses clean, planted "
+        f"race flagged ({planted.reports[0].field})"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=2_500,
@@ -151,6 +181,7 @@ def main(argv: list[str] | None = None) -> int:
         lambda: check_sanitized_replay(args.requests, args.workers),
         check_tcp_front_end,
         check_mode_parity,
+        check_lockset,
     ):
         try:
             print(f"OK  {check()}")

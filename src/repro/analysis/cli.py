@@ -45,7 +45,7 @@ def _split_codes(
 def run_lint(argv: list[str]) -> int:
     """``zcache-repro lint [paths...]`` — run ZSan; exit 1 on findings.
 
-    ``--deep`` adds the ZProve whole-program rules (ZS101–ZS109) on
+    ``--deep`` adds the ZProve whole-program rules (ZS101–ZS113) on
     top of the per-file rules; selecting a deep code enables the deep
     pass implicitly. ``--fix`` applies the mechanical repairs first
     (ZS004 ``slots=True`` insertion, ZS001 ``from random import``
@@ -56,7 +56,7 @@ def run_lint(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="zcache-repro lint",
         description="Run the ZSan AST lint rules (ZS001-ZS006) and, "
-        "with --deep, the ZProve whole-program rules (ZS101-ZS109) "
+        "with --deep, the ZProve whole-program rules (ZS101-ZS113) "
         "over Python sources. Exits non-zero when any finding is "
         "reported.",
     )
@@ -82,7 +82,7 @@ def run_lint(argv: list[str]) -> int:
     )
     parser.add_argument(
         "--deep", action="store_true",
-        help="also run the whole-program semantic rules (ZS101-ZS109)",
+        help="also run the whole-program semantic rules (ZS101-ZS113)",
     )
     parser.add_argument(
         "--fix", action="store_true",
@@ -219,7 +219,10 @@ def run_check(argv: list[str]) -> int:
     an unsanitized baseline run. With ``--model``, the exhaustive
     bounded model checker runs *instead*: every access sequence to
     ``--model-depth`` over the tiny default geometries, checking all
-    registry invariants plus reference↔turbo bit-identity.
+    registry invariants plus reference↔turbo bit-identity. With
+    ``--lockset``, the dynamic lockset sanitizer runs *instead*:
+    threaded serve traffic through an instrumented shard (must come
+    back clean), then a planted unlocked shard (must be flagged).
     """
     parser = argparse.ArgumentParser(
         prog="zcache-repro check",
@@ -237,6 +240,11 @@ def run_check(argv: list[str]) -> int:
     parser.add_argument(
         "--model-depth", type=int, default=6, metavar="N",
         help="access-sequence depth for --model (default 6)",
+    )
+    parser.add_argument(
+        "--lockset", action="store_true",
+        help="run the dynamic lockset race checker over threaded serve "
+        "traffic instead of the workload suite",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -263,6 +271,30 @@ def run_check(argv: list[str]) -> int:
         print(result.render())
         print(f"model check: {time.perf_counter() - t0:.1f}s")
         return 0 if result.ok else 1
+
+    if args.lockset:
+        from repro.analysis.lockset import (
+            instrumented_replay,
+            planted_unlocked_replay,
+        )
+
+        t0 = time.perf_counter()
+        san = instrumented_replay(seed=args.seed)
+        print(san.summary())
+        if san.reports:
+            for report in san.reports:
+                print(f"  {report.invariant}: {report.detail}")
+            return 1
+        planted = planted_unlocked_replay(seed=args.seed)
+        if not planted.reports:
+            print("planted unlocked shard was NOT flagged")
+            return 1
+        print(
+            "planted unlocked shard flagged: "
+            f"{planted.reports[0].detail}"
+        )
+        print(f"lockset check: {time.perf_counter() - t0:.1f}s")
+        return 0
 
     from repro.experiments import fig2
 

@@ -121,9 +121,9 @@ def register_deep_rule(cls: type) -> type:
 
 def default_deep_rules() -> List[DeepRule]:
     """One instance of every registered deep rule, code order."""
-    # The effect rules register on import; imported lazily here because
-    # the effects module imports DeepRule from this one.
-    from repro.analysis.semantic import effects  # noqa: F401
+    # The effect and race rules register on import; imported lazily
+    # here because both modules import DeepRule from this one.
+    from repro.analysis.semantic import effects, race  # noqa: F401
 
     return [DEEP_RULE_REGISTRY[c]() for c in sorted(DEEP_RULE_REGISTRY)]
 

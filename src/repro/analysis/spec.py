@@ -33,6 +33,12 @@ constrain:
     One observed commit *attempt* (two-phase protocol): a commit must
     reject stale walk paths, and a rejected commit must not corrupt
     state (paper Section III-D's benign-race restart discipline).
+``thread``
+    One observed shared-field access or lock acquisition in the serve
+    layer, evaluated by ZRace's dynamic lockset backend
+    (:mod:`repro.analysis.lockset`): shared-modified fields must keep
+    a non-empty candidate lockset, and observed acquisitions must
+    form no cycle.
 
 Checks are pure observers: they never mutate the array, and they
 return a human-readable detail string on violation (``None`` when the
@@ -55,8 +61,11 @@ from repro.core.base import (
 )
 
 #: The invariant classes a violation is tagged with. The first eleven
-#: predate the registry (SanitizedArray's original taxonomy); the last
-#: two cover the two-phase protocol's staleness and atomicity contract.
+#: predate the registry (SanitizedArray's original taxonomy);
+#: ``phase-stale``/``commit-order`` cover the two-phase protocol's
+#: staleness and atomicity contract; ``lockset-race``/``lock-order``
+#: cover the serve layer's threading discipline (ZRace's dynamic
+#: lockset backend).
 VIOLATION_KINDS = (
     "walk-cycle",
     "walk-level",
@@ -71,6 +80,8 @@ VIOLATION_KINDS = (
     "conservation",
     "phase-stale",
     "commit-order",
+    "lockset-race",
+    "lock-order",
 )
 
 SCOPE_WALK = "walk"
@@ -78,9 +89,17 @@ SCOPE_COMMIT = "commit"
 SCOPE_EVICT = "evict"
 SCOPE_STATE = "state"
 SCOPE_PHASE = "phase"
+SCOPE_THREAD = "thread"
 
 #: valid values for :attr:`Invariant.scope`
-SCOPES = (SCOPE_WALK, SCOPE_COMMIT, SCOPE_EVICT, SCOPE_STATE, SCOPE_PHASE)
+SCOPES = (
+    SCOPE_WALK,
+    SCOPE_COMMIT,
+    SCOPE_EVICT,
+    SCOPE_STATE,
+    SCOPE_PHASE,
+    SCOPE_THREAD,
+)
 
 
 def iter_path(cand: Candidate, limit: int) -> Iterator[Candidate]:
@@ -252,6 +271,37 @@ class PhaseCheck:
         self.len_after = len_after
         self.incoming_resident_before = incoming_resident_before
         self.incoming_resident_after = incoming_resident_after
+
+
+class ThreadCheck:
+    """Context for ``thread``-scope invariants: one race observation.
+
+    Built by :class:`~repro.analysis.lockset.LocksetSanitizer` around
+    a shared-field access (Eraser-style state machine) or a lock
+    acquisition (order graph). Exactly one of the two shapes is
+    populated: field observations carry ``state``/``lockset``/
+    ``threads`` with ``cycle is None``; acquisition observations carry
+    the offending ``cycle`` path.
+    """
+
+    __slots__ = ("field", "op", "state", "lockset", "threads", "cycle")
+
+    def __init__(
+        self,
+        *,
+        field: str = "",
+        op: str = "",
+        state: str = "",
+        lockset: frozenset = frozenset(),
+        threads: int = 0,
+        cycle: Optional[Tuple[str, ...]] = None,
+    ) -> None:
+        self.field = field
+        self.op = op
+        self.state = state
+        self.lockset = lockset
+        self.threads = threads
+        self.cycle = cycle
 
 
 def stale_path_detail(array: CacheArray, chosen: Candidate) -> Optional[str]:
@@ -649,4 +699,40 @@ def _twophase_commit_atomic(ctx: PhaseCheck) -> Optional[str]:
         f"resident count {ctx.len_before} -> {ctx.len_after}, incoming "
         f"resident {ctx.incoming_resident_before} -> "
         f"{ctx.incoming_resident_after}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Thread-scope invariants (ZRace's dynamic lockset backend).
+# ---------------------------------------------------------------------------
+
+
+@register_invariant(
+    "lockset-discipline", "lockset-race", SCOPE_THREAD,
+    "a field modified by multiple threads keeps a non-empty candidate "
+    "lockset (Eraser's shared-modified rule)",
+)
+def _lockset_discipline(ctx: ThreadCheck) -> Optional[str]:
+    if ctx.cycle is not None:
+        return None
+    if ctx.state == "shared-modified" and not ctx.lockset:
+        return (
+            f"field '{ctx.field}' reached shared-modified across "
+            f"{ctx.threads} thread(s) with an empty candidate lockset "
+            f"(last op: {ctx.op})"
+        )
+    return None
+
+
+@register_invariant(
+    "lock-order-acyclic", "lock-order", SCOPE_THREAD,
+    "observed lock acquisitions never close a cycle in the "
+    "acquisition-order graph",
+)
+def _lock_order_acyclic(ctx: ThreadCheck) -> Optional[str]:
+    if ctx.cycle is None:
+        return None
+    return (
+        "lock acquisition closes an order cycle: "
+        + " -> ".join(ctx.cycle)
     )

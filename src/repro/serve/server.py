@@ -102,6 +102,7 @@ class ServeClient:
     def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
+        self._closed = False
 
     def request(self, line: str) -> str:
         """Send one protocol line and return the reply line."""
@@ -145,9 +146,19 @@ class ServeClient:
         return self.request("PING") == "PONG"
 
     def close(self) -> None:
-        """Close the connection."""
-        self._file.close()
-        self._sock.close()
+        """Close the connection. Safe to call more than once.
+
+        Idempotence matters because both the context manager and
+        error-path cleanup may reach here; the socket is closed even
+        when flushing the buffered file object raises.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
 
     def __enter__(self) -> "ServeClient":
         return self

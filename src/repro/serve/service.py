@@ -203,6 +203,11 @@ class ZServeCache:
         """Puts that spent their retry budget, across shards."""
         return sum(shard._c_fallback_fills.value for shard in self.shards)
 
+    @property
+    def recency_dropped(self) -> int:
+        """Read hits the full recency buffer discarded, across shards."""
+        return sum(shard._c_recency_dropped.value for shard in self.shards)
+
     def snapshot(self) -> dict[str, Any]:
         """One dict of the service-level aggregates (for STATS / tests)."""
         return {
@@ -218,6 +223,7 @@ class ZServeCache:
             "stale_retries": self.stale_retries,
             "walk_races": self.walk_races,
             "fallback_fills": self.fallback_fills,
+            "recency_dropped": self.recency_dropped,
         }
 
     def check_consistency(self) -> None:

@@ -1,0 +1,33 @@
+"""ZS110 clean twin: locks, folds, markers, and entry locksets."""
+
+import threading
+
+
+class _Cell:
+    def __init__(self):
+        self.value = 0
+
+
+class CleanShard:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.entries = {}
+        self.recency = []
+        self._c_hits = _Cell()
+
+    def put(self, key, value):
+        with self.lock:
+            self._install(key, value)
+
+    def _install(self, key, value):
+        # Clean: only ever called under the lock (entry lockset).
+        self.entries[key] = value
+
+    def read(self, key):
+        self._c_hits.value += 1  # clean: GIL-atomic counter fold
+        self.recency.append(key)  # zrace: atomic
+        return self.entries.get(key)
+
+    def drop(self, key):
+        with self.lock:
+            del self.entries[key]

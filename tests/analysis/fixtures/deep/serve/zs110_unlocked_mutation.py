@@ -1,0 +1,24 @@
+"""ZS110 fixture: guarded-field mutations that skip the shard lock."""
+
+import threading
+
+
+class Shard:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.entries = {}
+        self.recency = []
+        self.hits = 0
+
+    def put(self, key, value):
+        self.entries[key] = value  # flagged: unlocked write
+        with self.lock:
+            self.entries[key] = value  # clean: locked twin
+
+    def read(self, key):
+        self.hits += 1  # flagged: unlocked += (not a counter fold)
+        self.recency.append(key)  # flagged: unlocked mutator call
+        return self.entries.get(key)
+
+    def drop(self, key):
+        del self.entries[key]  # flagged: unlocked delete

@@ -1,0 +1,25 @@
+"""ZS111 clean twin: one global order, I/O off-lock, with-managed."""
+
+import threading
+
+
+class Ordered:
+    def __init__(self):
+        self.a_lock = threading.Lock()
+        self.b_lock = threading.Lock()
+        self.state = {}
+
+    def first(self):
+        with self.a_lock:
+            with self.b_lock:  # clean: a-before-b everywhere
+                self.state["first"] = 1
+
+    def second(self):
+        with self.a_lock:
+            with self.b_lock:
+                self.state["second"] = 2
+
+    def io_then_lock(self, sock):
+        data = sock.recv(1024)  # clean: blocking call off-lock
+        with self.a_lock:
+            self.state["io"] = data

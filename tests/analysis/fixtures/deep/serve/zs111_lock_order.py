@@ -1,0 +1,31 @@
+"""ZS111 fixture: acquisition cycle, blocking under lock, bare acquire."""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self.a_lock = threading.Lock()
+        self.b_lock = threading.Lock()
+        self.state = {}
+
+    def ab(self):
+        with self.a_lock:
+            with self.b_lock:  # flagged: on the a->b->a cycle
+                self.state["ab"] = 1
+
+    def ba(self):
+        with self.b_lock:
+            with self.a_lock:  # flagged: on the b->a->b cycle
+                self.state["ba"] = 1
+
+    def blocked(self, sock):
+        with self.a_lock:
+            return sock.recv(1024)  # flagged: blocking under a_lock
+
+    def raw(self):
+        self.a_lock.acquire()  # flagged: raw acquire outside 'with'
+        try:
+            self.state["raw"] = 1
+        finally:
+            self.a_lock.release()

@@ -1,0 +1,38 @@
+"""ZS112 clean twin: pure walk, mutations behind locked call sites."""
+
+import threading
+
+
+class Plan:
+    def __init__(self, address):
+        self.address = address
+
+
+class Array:
+    def __init__(self):
+        self._pos = {}
+
+    def build_replacement(self, address):
+        return Plan(address)
+
+    def commit_replacement(self, plan):
+        self._pos[plan.address] = 1  # clean: only reached under lock
+
+
+class TwoPhase:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.array = Array()
+        self.stats = {}
+
+    def prepare_fill(self, address):
+        with self.lock:
+            self._note(address)  # locked call site prunes the subtree
+        return self.array.build_replacement(address)
+
+    def _note(self, address):
+        self.stats["walks"] = 1
+
+    def commit(self, plan):
+        with self.lock:
+            self.array.commit_replacement(plan)

@@ -1,0 +1,28 @@
+"""ZS112 fixture: mutations on the off-lock walk path."""
+
+import threading
+
+
+class Plan:
+    def __init__(self, address):
+        self.address = address
+
+
+class Array:
+    def __init__(self):
+        self._pos = {}
+
+    def build_replacement(self, address):
+        self._pos[address] = 0  # flagged: array-state write off-lock
+        return Plan(address)
+
+
+class TwoPhase:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.array = Array()
+        self.stats = {}
+
+    def prepare_fill(self, address):
+        self.stats["walks"] = 1  # flagged: guarded write off-lock
+        return self.array.build_replacement(address)

@@ -1,0 +1,26 @@
+"""ZS113 fixture: thread-root code leaking into module-level state."""
+
+import threading
+
+RESULTS = []
+TOTAL = 0
+
+
+def tally(n):
+    global TOTAL  # flagged: global declaration on a thread path
+    TOTAL += n  # the declaration above already damns this write
+
+
+def worker(n):
+    RESULTS.append(n)  # flagged: mutating a module-level mutable
+    tally(n)
+
+
+def fanout():
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()

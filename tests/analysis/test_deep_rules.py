@@ -34,11 +34,12 @@ def deep_findings(path, code):
 # Registry
 
 
-def test_default_rules_cover_all_nine_codes():
+def test_default_rules_cover_all_thirteen_codes():
     codes = [r.code for r in default_deep_rules()]
     assert codes == [
         "ZS101", "ZS102", "ZS103", "ZS104",
         "ZS105", "ZS106", "ZS107", "ZS108", "ZS109",
+        "ZS110", "ZS111", "ZS112", "ZS113",
     ]
 
 

@@ -17,6 +17,7 @@ from repro.analysis.spec import (
     SCOPE_EVICT,
     SCOPE_PHASE,
     SCOPE_STATE,
+    SCOPE_THREAD,
     SCOPE_WALK,
     SCOPES,
     VIOLATION_KINDS,
@@ -61,10 +62,10 @@ def test_sanitizer_reexports_the_same_kind_tuple():
 def test_default_invariants_preserves_definition_order():
     assert default_invariants() == tuple(INVARIANT_REGISTRY.values())
     # The runtime driver's historical precedence: walk checks were
-    # defined first, the two-phase contract last.
+    # defined first; the thread-scope lockset contract is newest.
     scopes = [inv.scope for inv in default_invariants()]
     assert scopes[0] == SCOPE_WALK
-    assert scopes[-1] == SCOPE_PHASE
+    assert scopes[-1] == SCOPE_THREAD
 
 
 def test_invariants_for_filters_by_scope():
@@ -159,7 +160,14 @@ def test_clean_array_passes_every_state_invariant():
 def test_commit_and_evict_scopes_are_driver_only():
     # The model checker consumes only state-scope invariants between
     # transitions; commit/evict/walk/phase scopes need per-operation
-    # context only the runtime driver can build. Pin the split so a
+    # context only the runtime driver can build, and the thread scope
+    # is evaluated by the dynamic lockset backend. Pin the split so a
     # future scope addition makes an explicit decision here.
-    driver_only = {SCOPE_WALK, SCOPE_COMMIT, SCOPE_EVICT, SCOPE_PHASE}
+    driver_only = {
+        SCOPE_WALK,
+        SCOPE_COMMIT,
+        SCOPE_EVICT,
+        SCOPE_PHASE,
+        SCOPE_THREAD,
+    }
     assert driver_only | {SCOPE_STATE} == set(SCOPES)

@@ -1,5 +1,6 @@
 """Tests for the TCP front end and its line protocol."""
 
+import socket
 import threading
 
 import pytest
@@ -92,3 +93,48 @@ class TestConcurrentClients:
             t.join()
         assert not errors
         server.cache.check_consistency()
+
+
+class TestClientLifecycle:
+    def test_close_is_idempotent(self, server):
+        host, port = server.address
+        client = ServeClient(host, port)
+        assert client.ping() is True
+        client.close()
+        client.close()  # second close must be a no-op, not EBADF
+
+    def test_context_manager_after_manual_close(self, server):
+        host, port = server.address
+        with ServeClient(host, port) as client:
+            client.put("k", "v")
+            client.close()
+        # __exit__ closed an already-closed client without raising.
+
+    def test_server_closing_the_connection_raises_connection_error(self):
+        # A stub that answers one request and hangs up: the client's
+        # next read sees EOF and must surface the typed error, not an
+        # empty-reply ValueError. (ZServeServer never hangs up first —
+        # its handler threads serve until client EOF — so the stub is
+        # the only deterministic way onto this path.)
+        lsock = socket.socket()
+        lsock.bind(("127.0.0.1", 0))
+        lsock.listen(1)
+        host, port = lsock.getsockname()
+
+        def serve_once():
+            conn, _ = lsock.accept()
+            rfile = conn.makefile("rwb")
+            rfile.readline()
+            rfile.write(b"PONG\n")
+            rfile.flush()
+            conn.close()
+
+        threading.Thread(target=serve_once, daemon=True).start()
+        client = ServeClient(host, port)
+        try:
+            assert client.ping() is True
+            with pytest.raises(ConnectionError, match="server closed"):
+                client.request("PING")
+        finally:
+            client.close()
+            lsock.close()

@@ -5,7 +5,14 @@ import threading
 import pytest
 
 from repro.analysis.sanitizer import make_wrapper
-from repro.serve.shard import MISS, CacheShard, payload_digest
+from repro.replacement.base import ReplacementPolicy
+from repro.serve.shard import (
+    MISS,
+    RECENCY_CAP,
+    CacheShard,
+    EvictionLog,
+    payload_digest,
+)
 
 
 class TestBasicOps:
@@ -74,6 +81,100 @@ class TestEvictionBookkeeping:
         shard._entries[999] = ("zombie", "zombie")
         with pytest.raises(AssertionError, match="out of sync"):
             shard.check_consistency()
+
+
+class TestRecencyBuffer:
+    def test_read_burst_drops_hits_once_the_buffer_is_full(self):
+        # A read-only burst with no intervening writer must cap the
+        # buffer at RECENCY_CAP and count every hit past it — the
+        # counter is how operators see the policy going stale.
+        shard = CacheShard(lines_per_way=16)
+        shard.put(1, "k", "v")  # the put drains whatever was buffered
+        assert shard._recency == []
+        extra = 50
+        for _ in range(RECENCY_CAP + extra):
+            assert shard.get(1) == "v"
+        assert len(shard._recency) == RECENCY_CAP
+        assert shard._c_recency_dropped.value == extra
+        # The next writer drains the buffer, re-arming the fast path.
+        shard.put(2, "k2", "v2")
+        assert shard._recency == []
+        shard.get(1)
+        assert len(shard._recency) == 1
+        assert shard._c_recency_dropped.value == extra
+
+    def test_dropped_counter_reaches_the_service_snapshot(self):
+        from repro.serve.service import ServeConfig, ZServeCache
+
+        svc = ZServeCache(ServeConfig(num_shards=1, lines_per_way=16))
+        svc.put("k", "v")
+        for _ in range(RECENCY_CAP + 7):
+            svc.get("k")
+        assert svc.snapshot()["recency_dropped"] == 7
+
+
+class TestEvictionLogDelegation:
+    def test_every_policy_method_is_explicitly_forwarded(self):
+        # The wrapper must intercept the *whole* policy surface: a
+        # method resolved from ReplacementPolicy's defaults would
+        # consult the wrapper's own (empty) state, not the inner
+        # policy's. Introspect the contract so a new policy method
+        # cannot silently bypass the log.
+        public = {
+            name
+            for name, member in vars(ReplacementPolicy).items()
+            if callable(member) and not name.startswith("_")
+        }
+        assert public  # the contract is non-trivial
+        for name in public:
+            assert name in vars(EvictionLog), (
+                f"EvictionLog does not forward ReplacementPolicy.{name}"
+            )
+
+    def test_forwarded_calls_reach_the_inner_policy(self):
+        calls = []
+
+        class Recorder(ReplacementPolicy):
+            def on_insert(self, address):
+                calls.append(("on_insert", address))
+
+            def on_access(self, address, is_write=False):
+                calls.append(("on_access", address, is_write))
+
+            def on_evict(self, address):
+                calls.append(("on_evict", address))
+
+            def score(self, address):
+                calls.append(("score", address))
+                return address
+
+            def select_victim(self, candidates):
+                calls.append(("select_victim", tuple(candidates)))
+                return candidates[0]
+
+            def drain_score_updates(self):
+                calls.append(("drain_score_updates",))
+                return []
+
+            def global_victim(self):
+                calls.append(("global_victim",))
+                return None
+
+        log = EvictionLog(Recorder())
+        log.on_insert(1)
+        log.on_access(1, True)
+        log.on_evict(2)
+        assert log.score(3) == 3
+        assert log.select_victim([4, 5]) == 4
+        assert log.drain_score_updates() == []
+        assert log.global_victim() is None
+        assert [c[0] for c in calls] == [
+            "on_insert", "on_access", "on_evict", "score",
+            "select_victim", "drain_score_updates", "global_victim",
+        ]
+        # on_evict is the one method with wrapper-side behavior.
+        assert log.drain_evicted() == [2]
+        assert log.drain_evicted() == []
 
 
 class TestFingerprint:
