@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Record the ZFault campaign baseline into ``BENCH_faults.json``.
+
+Runs the full default campaign — every fault kind x all four designs
+(Z4/16, Z4/52, SA-4, SK-4) x three trigger points x two location
+variants, 2000 accesses per replay, the serve-layer drop-eviction-log
+kind on the zcache designs — on the parallel driver, then faultmin on
+one representative non-benign case per (design, kind) cell, then a
+replay pass over every emitted counterexample.
+
+Before writing anything it re-asserts the acceptance structure:
+
+- relocation faults 100% detected on the zcache designs, benign on
+  SA-4 (no relocation machinery);
+- ``stale-walk`` 100% detected on every design that walks;
+- ``stamp-corrupt`` — the planted detector miss — detected *nowhere*,
+  with at least one silent divergence somewhere (the hole is real and
+  measurable, not just unexercised);
+- every minimal counterexample replays to its recorded verdict, and
+  the counterexample set spans at least two fault kinds.
+
+The campaign is seeded end-to-end, so the written tables and
+counterexamples are deterministic: regenerating on the same code
+changes only the wall-clock fields under ``meta``, and any other diff
+under review is a real behavior change. The file is committed;
+EXPERIMENTS.md and docs/faults.md quote its structure.
+
+Not collected by pytest (``run_`` prefix, and ``testpaths`` only
+covers ``tests/``); run it by hand when the fault layer, the
+invariant registry, or the designs change materially::
+
+    python benchmarks/run_faults_baseline.py [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.faults.campaign import (  # noqa: E402
+    CampaignConfig,
+    build_cases,
+    run_campaign,
+)
+from repro.faults.faultmin import (  # noqa: E402
+    minimize_case,
+    replay_counterexample,
+)
+from repro.faults.harness import DESIGNS  # noqa: E402
+
+OUT = Path(__file__).with_name("BENCH_faults.json")
+
+#: faultmin probe budget per representative case
+BUDGET = 200
+
+
+def assert_structure(report) -> None:
+    """The acceptance shape of the campaign table (fail loudly)."""
+    for kind in ("drop-relocation", "misdirect-relocation"):
+        for design in ("Z4/16", "Z4/52"):
+            rate = report.detection_rate(design, kind)
+            assert rate == 1.0, f"{design} {kind} detection {rate} != 1.0"
+        sa = {c: n for c, n in report.cells[("SA-4", kind)].items() if n}
+        assert set(sa) == {"benign"}, f"SA-4 {kind} not benign: {sa}"
+    for design in DESIGNS:
+        rate = report.detection_rate(design, "stale-walk")
+        assert rate == 1.0, f"{design} stale-walk detection {rate} != 1.0"
+        cell = report.cells[(design, "stamp-corrupt")]
+        assert cell.get("detected", 0) == 0, (
+            f"planted miss detected on {design}: {dict(cell)}"
+        )
+    silent = sum(
+        report.cells[(d, "stamp-corrupt")].get("silent-wrong-victim", 0)
+        + report.cells[(d, "stamp-corrupt")].get("silent-mpki-drift", 0)
+        for d in DESIGNS
+    )
+    assert silent > 0, "planted miss never even diverged — not exercised"
+
+
+def pick_representatives(outcome, cases) -> list:
+    """One non-benign case per (design, kind), campaign order."""
+    by_key = {case.key: case for case in cases}
+    picked: dict = {}
+    for key, result in outcome.outcomes.items():
+        if result.classification == "benign" or key not in by_key:
+            continue
+        picked.setdefault((result.design, result.kind), by_key[key])
+    return [case for _, case in sorted(picked.items())]
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: available CPUs)")
+    parser.add_argument("--out", type=str, default=str(OUT))
+    args = parser.parse_args(argv)
+
+    config = CampaignConfig()
+    t0 = time.perf_counter()
+    outcome = run_campaign(config, jobs=args.jobs)
+    campaign_s = time.perf_counter() - t0
+    assert not outcome.errors, f"campaign case errors: {outcome.errors}"
+    print(f"campaign: {len(outcome.outcomes)} cases in {campaign_s:.1f}s")
+    print(outcome.report.render())
+    assert_structure(outcome.report)
+
+    t1 = time.perf_counter()
+    counterexamples = []
+    for case in pick_representatives(outcome, build_cases(config)):
+        ce = minimize_case(case, budget=BUDGET)
+        counterexamples.append(ce.to_dict())
+        print(
+            f"faultmin: {case.design} {case.kind}: {ce.original_events} -> "
+            f"{ce.minimized_events} event(s), {ce.probes} probes, "
+            f"verdict {ce.classification}"
+        )
+    faultmin_s = time.perf_counter() - t1
+
+    kinds = {ce["case"]["kind"] for ce in counterexamples}
+    assert len(kinds) >= 2, f"counterexamples span only {kinds}"
+    for i, entry in enumerate(counterexamples):
+        verdict = replay_counterexample(entry)
+        assert verdict["match"], f"counterexample {i} failed replay: {verdict}"
+    print(f"replayed {len(counterexamples)} counterexamples, all match")
+
+    payload = {
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "campaign_seconds": round(campaign_s, 1),
+            "faultmin_seconds": round(faultmin_s, 1),
+            "jobs": args.jobs or "auto",
+        },
+        "config": {
+            "base_seed": config.base_seed,
+            "accesses": config.accesses,
+            "lines_per_way": config.lines_per_way,
+            "triggers": list(config.triggers),
+            "variants": config.variants,
+            "cases": len(outcome.outcomes),
+        },
+        "campaign": outcome.report.to_dict(),
+        "counterexamples": counterexamples,
+    }
+    out_path = Path(args.out)
+    with out_path.open("w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,8 +7,9 @@ bit-identity, not statistical agreement):
 1. **Fig. 2** at a reduced scale, run once per engine with a fresh
    observability context each. Compared: the analytic and simulated CDF
    arrays, the KS distances, every eviction priority behind them, and
-   the full metrics snapshots (modulo the ``engine_turbo`` capability
-   gauges the turbo run adds — presence keys, not measurements).
+   the full metrics snapshots (modulo the ``engine_turbo`` /
+   ``engine_fallback`` capability gauges — presence keys recording
+   which engine ran, not measurements).
 2. **A CMP design sweep** (one workload, three designs, LRU) replayed
    through the reference engine serially and through the turbo engine
    both serially and under two worker processes. Compared: the complete
@@ -37,7 +38,9 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 def _strip_engine_gauges(snapshot: dict) -> dict:
     """Drop the turbo capability gauges before comparing snapshots."""
     return {
-        k: v for k, v in snapshot.items() if not k.endswith("engine_turbo")
+        k: v
+        for k, v in snapshot.items()
+        if not k.endswith(("engine_turbo", "engine_fallback"))
     }
 
 

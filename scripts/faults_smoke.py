@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""CI gate: the ZFault campaign detects what it claims to detect.
+
+Four checks, small geometries, well under a minute:
+
+1. **No-fault control** — a golden replay of every design (plus a
+   serve-layer replay) under the full sanitizer must finish with zero
+   invariant violations and zero crashes. A detector that fires on
+   clean traffic would poison every campaign verdict.
+2. **One detection per detectable kind** — for each fault kind the
+   taxonomy table (docs/faults.md) maps to a detector, a known-good
+   planted case must classify ``detected`` with the expected violation
+   kind: stale-walk -> walk-stale, drop-relocation -> conservation,
+   misdirect-relocation -> map-desync, tag-flip -> duplicate-tag or
+   map-desync (deep scan every access), drop-eviction-log ->
+   payload-desync (shard consistency).
+3. **Planted detector miss** — ``stamp-corrupt`` targets policy state,
+   which no registered invariant covers. The mini-campaign must show
+   zero detections for it on every design, and a direct planted case
+   must surface as silent-wrong-victim. If this check ever fails
+   because a policy-state invariant was added, update the taxonomy
+   table and retire the miss deliberately — don't silence the gate.
+4. **faultmin convergence** — delta debugging plus field shrinking
+   must reduce a late stamp-corruption to a single earlier event while
+   preserving the silent-wrong-victim verdict, and the emitted
+   counterexample must replay to the same verdict from its JSON
+   payload alone.
+
+The mini-campaign also re-asserts the structural story: relocation
+faults are benign on the set-associative baseline (no relocation
+machinery to corrupt) and 100% detected on the zcache designs.
+
+Exit 0 when everything holds, 1 with a message otherwise. The
+full-size sweep lives in ``benchmarks/run_faults_baseline.py``; this
+is the fast always-on gate.
+
+Usage::
+
+    python scripts/faults_smoke.py [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.faults.campaign import CampaignConfig, run_campaign  # noqa: E402
+from repro.faults.faultmin import (  # noqa: E402
+    minimize_case,
+    replay_counterexample,
+)
+from repro.faults.harness import (  # noqa: E402
+    DESIGNS,
+    FaultCase,
+    run_case,
+    run_replay,
+    run_serve_replay,
+)
+
+#: shared small-geometry knobs for the planted detection cases
+SEED = 7
+ACCESSES = 800
+LPW = 16
+
+#: (case, acceptable violation kinds) per detectable fault kind.
+#: tag-flip scans deep every access so the duplicate tag cannot hide
+#: behind a policy crash; drop-eviction-log needs the larger serve
+#: geometry so the dropped victim is not re-put before the next
+#: consistency check revalidates the payload map.
+DETECTION_CASES = [
+    (FaultCase(design="Z4/16", kind="stale-walk", at=400, seed=SEED,
+               accesses=ACCESSES, lines_per_way=LPW, bit=1),
+     ("walk-stale",)),
+    (FaultCase(design="Z4/16", kind="drop-relocation", at=400, seed=SEED,
+               accesses=ACCESSES, lines_per_way=LPW),
+     ("conservation",)),
+    (FaultCase(design="Z4/52", kind="misdirect-relocation", at=400,
+               seed=SEED, accesses=ACCESSES, lines_per_way=LPW, index=5),
+     ("map-desync",)),
+    (FaultCase(design="Z4/16", kind="tag-flip", at=400, seed=SEED,
+               accesses=ACCESSES, lines_per_way=LPW, bit=1,
+               deep_interval=1),
+     ("duplicate-tag", "map-desync")),
+    (FaultCase(design="Z4/16", kind="drop-eviction-log", at=1000,
+               seed=11, accesses=2000, lines_per_way=64, serve=True),
+     ("payload-desync",)),
+]
+
+
+def check_no_fault_control() -> str:
+    """Golden replays stay violation-free on every design."""
+    for design in DESIGNS:
+        res = run_replay(design, seed=SEED, accesses=ACCESSES,
+                         lines_per_way=LPW, deep_interval=1)
+        if res.crashed or res.detector is not None:
+            raise AssertionError(
+                f"clean {design} replay flagged: {res.detector or res.detail}"
+            )
+    res = run_serve_replay("Z4/16", seed=SEED, accesses=ACCESSES,
+                           lines_per_way=LPW)
+    if res.crashed or res.detector is not None:
+        raise AssertionError(
+            f"clean serve replay flagged: {res.detector or res.detail}"
+        )
+    return f"{len(DESIGNS)} designs + serve layer, zero violations"
+
+
+def check_detections() -> str:
+    """Every detectable fault kind trips its taxonomy-table detector."""
+    for case, expected_kinds in DETECTION_CASES:
+        outcome = run_case(case)
+        if outcome.classification != "detected":
+            raise AssertionError(
+                f"{case.key}: expected detected, got "
+                f"{outcome.classification} ({outcome.detail})"
+            )
+        if outcome.detector_kind not in expected_kinds:
+            raise AssertionError(
+                f"{case.key}: detector kind {outcome.detector_kind!r} "
+                f"not in {expected_kinds}"
+            )
+    return f"{len(DETECTION_CASES)} fault kinds each tripped their invariant"
+
+
+def check_campaign(jobs: int) -> str:
+    """Mini-campaign: planted miss stays silent, structure holds."""
+    config = CampaignConfig(base_seed=1, accesses=400, lines_per_way=16,
+                            triggers=(0.5,), variants=1)
+    outcome = run_campaign(config, jobs=jobs)
+    if outcome.errors:
+        raise AssertionError(f"campaign case errors: {outcome.errors}")
+    cells = outcome.report.cells
+    for design in DESIGNS:
+        cell = cells[(design, "stamp-corrupt")]
+        if cell.get("detected", 0):
+            raise AssertionError(
+                f"planted miss detected on {design}: {dict(cell)} — "
+                "a policy-state invariant now exists; retire the miss "
+                "deliberately (see docs/faults.md)"
+            )
+    for kind in ("drop-relocation", "misdirect-relocation"):
+        sa = {cls: n for cls, n in cells[("SA-4", kind)].items() if n}
+        if set(sa) != {"benign"}:
+            raise AssertionError(f"SA-4 {kind} not benign: {sa}")
+        for design in ("Z4/16", "Z4/52"):
+            rate = outcome.report.detection_rate(design, kind)
+            if rate != 1.0:
+                raise AssertionError(
+                    f"{design} {kind} detection rate {rate} != 1.0"
+                )
+    return (f"{len(outcome.outcomes)} cases at jobs={jobs}; planted miss "
+            f"silent on all designs; relocation coverage z-only as designed")
+
+
+def check_faultmin() -> str:
+    """faultmin converges on a planted late stamp-corruption."""
+    case = FaultCase(design="Z4/16", kind="stamp-corrupt", at=600,
+                     seed=SEED, accesses=ACCESSES, lines_per_way=LPW,
+                     index=2)
+    mini = minimize_case(case, budget=150)
+    if mini.classification == "benign":
+        raise AssertionError("planted stamp corruption fizzled benign")
+    if mini.classification == "detected":
+        raise AssertionError(
+            f"planted miss detected by {mini.detector} during faultmin"
+        )
+    if len(mini.plan) != 1:
+        raise AssertionError(
+            f"faultmin left {len(mini.plan)} events, expected 1"
+        )
+    event = next(iter(mini.plan))
+    if event.at > case.at:
+        raise AssertionError(f"shrunk trigger {event.at} > original {case.at}")
+    verdict = replay_counterexample(mini.to_dict())
+    if not verdict["match"]:
+        raise AssertionError(
+            f"counterexample replay mismatch: {verdict}"
+        )
+    return (f"stamp-corrupt at={case.at} -> 1 event at={event.at}, "
+            f"{mini.probes} probes, verdict {mini.classification} replays")
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="campaign worker processes (default 2)")
+    args = parser.parse_args(argv)
+
+    checks = [
+        ("no-fault control", check_no_fault_control),
+        ("per-kind detection", check_detections),
+        ("mini campaign", lambda: check_campaign(args.jobs)),
+        ("faultmin convergence", check_faultmin),
+    ]
+    t0 = time.perf_counter()
+    for name, check in checks:
+        start = time.perf_counter()
+        try:
+            detail = check()
+        except AssertionError as exc:
+            print(f"FAIL {name}: {exc}")
+            return 1
+        print(f"ok {name}: {detail} [{time.perf_counter() - start:.1f}s]")
+    print(f"faults smoke passed in {time.perf_counter() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

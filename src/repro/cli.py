@@ -13,6 +13,7 @@ Examples::
     zcache-repro trace fig2 --instructions 2000
     zcache-repro timeline sweep --jobs 2 --out trace.json --critical-path
     zcache-repro sweep --jobs 4 --workloads canneal,gcc --checkpoint ck.json
+    zcache-repro faults --campaign --minimize --jobs 2 --json faults.json
     zcache-repro serve --shards 8 --port 9401
     zcache-repro loadgen --workload canneal --workers 4 --sanitize
 
@@ -71,6 +72,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.parallel import run_sweep_cli
 
         return run_sweep_cli(argv[1:])
+    if argv and argv[0] == "faults":
+        from repro.faults.cli import run_faults_cli
+
+        return run_faults_cli(argv[1:])
     if argv and argv[0] == "serve":
         from repro.serve.cli import run_serve_cli
 
@@ -94,7 +99,10 @@ def main(argv: list[str] | None = None) -> int:
         "'zcache-repro timeline <experiment> [--jobs N]' (ZTrace span "
         "timeline: Perfetto trace-event export + critical-path report) "
         "and 'zcache-repro sweep --jobs N' (parallel design sweep with "
-        "checkpoint/resume); 'zcache-repro serve' boots the ZServe "
+        "checkpoint/resume); 'zcache-repro faults --campaign' runs the "
+        "ZFault resilience campaign (deterministic fault injection under "
+        "the sanitizer; --minimize for minimal-fault search); "
+        "'zcache-repro serve' boots the ZServe "
         "concurrent key-value cache over TCP and 'zcache-repro loadgen' "
         "replays a workload proxy against it, reporting throughput and "
         "latency percentiles; each has its own --help.",

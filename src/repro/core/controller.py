@@ -170,13 +170,21 @@ class Cache:
         self.requested_engine = engine
         self._turbo: Optional["TurboCore"] = None
         if engine == "turbo":
-            from repro.kernels.engine import try_build_turbo
+            from repro.kernels.engine import (
+                try_build_turbo_explain,
+                warn_turbo_fallback,
+            )
 
-            self._turbo = try_build_turbo(self)
+            self._turbo, fallback_reason = try_build_turbo_explain(self)
             if obs is not None:
                 obs.metrics.gauge("engine_turbo").set(
                     1 if self._turbo is not None else 0
                 )
+                obs.metrics.gauge("engine_fallback").set(
+                    0 if self._turbo is not None else 1
+                )
+            if self._turbo is None:
+                warn_turbo_fallback(fallback_reason)
         self.engine = "turbo" if self._turbo is not None else "reference"
 
     # -- statistics rebinding ------------------------------------------------

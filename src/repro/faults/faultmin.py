@@ -1,0 +1,320 @@
+"""faultmin: minimal-fault search over plans (delta debugging + shrink).
+
+Given a case whose plan produces an interesting classification
+(anything but ``benign``), faultmin finds a *smaller* plan that still
+produces the same classification on the same replay:
+
+1. **ddmin** over the event list — classic delta debugging: try
+   dropping chunks of events (halving granularity) while the verdict
+   is preserved. Campaign cases carry one event, so this step mostly
+   matters for multi-event plans (and proves the one event is load-
+   bearing); its real work is in composed scenarios.
+2. **Shrinking** of every surviving event's fields toward zero —
+   trigger time first (the interesting part: *how early can the same
+   fault land and still corrupt the same way?*), then the location
+   hints ``way``/``index``/``bit``. Each field shrinks greedily by
+   binary descent: try 0, then successive midpoints, keeping any
+   candidate that preserves the verdict.
+
+Every probe is one full golden+faulted replay pair, so probes are
+cached by plan identity (plans are canonically ordered — see
+:class:`~repro.faults.plan.FaultPlan`) and capped by a budget. The
+result is a **replayable counterexample**: a JSON payload carrying the
+replay configuration, the minimized plan and the expected verdict,
+which :func:`replay_counterexample` re-runs and re-checks from the
+payload alone.
+
+The oracle is *classification equality* — not mere "still interesting"
+— so a minimized ``detected`` case still trips the same class of
+invariant and a minimized ``silent-wrong-victim`` case is still silent.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.faults.harness import (
+    FaultCase,
+    ReplayResult,
+    classify,
+    run_replay,
+    run_serve_replay,
+)
+from repro.faults.plan import FaultEvent, FaultPlan
+
+__all__ = [
+    "MinimalCounterexample",
+    "Minimizer",
+    "minimize_case",
+    "replay_counterexample",
+]
+
+
+@dataclass(slots=True)
+class MinimalCounterexample:
+    """A minimized, self-contained, replayable fault scenario."""
+
+    case: FaultCase
+    plan: FaultPlan
+    classification: str
+    detector: Optional[str] = None
+    detector_kind: Optional[str] = None
+    #: events in the original plan vs. after minimization
+    original_events: int = 0
+    minimized_events: int = 0
+    #: golden+faulted replay pairs spent (cache hits excluded)
+    probes: int = 0
+    #: minimization trace, one line per accepted reduction
+    steps: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """The replayable JSON payload."""
+        return {
+            "case": self.case.to_dict(),
+            "plan": self.plan.to_list(),
+            "classification": self.classification,
+            "detector": self.detector,
+            "detector_kind": self.detector_kind,
+            "original_events": self.original_events,
+            "minimized_events": self.minimized_events,
+            "probes": self.probes,
+            "steps": list(self.steps),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MinimalCounterexample":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            case=FaultCase.from_dict(data["case"]),
+            plan=FaultPlan.from_list(data["plan"]),
+            classification=data["classification"],
+            detector=data.get("detector"),
+            detector_kind=data.get("detector_kind"),
+            original_events=int(data.get("original_events", 0)),
+            minimized_events=int(data.get("minimized_events", 0)),
+            probes=int(data.get("probes", 0)),
+            steps=list(data.get("steps", [])),
+        )
+
+
+class Minimizer:
+    """One minimization run: fixed case, fixed golden, cached probes."""
+
+    def __init__(self, case: FaultCase, *, budget: int = 200) -> None:
+        self.case = case
+        self.budget = budget
+        self.probes = 0
+        #: plan identity -> (verdict, detector, detector kind)
+        self._cache: dict[str, tuple] = {}
+        self._runner = run_serve_replay if case.serve else run_replay
+        #: the golden replay, computed once and reused by every probe
+        self.golden: ReplayResult = self._replay(None)
+
+    def _replay(self, plan: Optional[FaultPlan]) -> ReplayResult:
+        case = self.case
+        return self._runner(
+            case.design,
+            seed=case.seed,
+            accesses=case.accesses,
+            lines_per_way=case.lines_per_way,
+            plan=plan,
+            deep_interval=case.deep_interval,
+        )
+
+    def probe(self, plan: FaultPlan) -> tuple:
+        """``(verdict, detector, detector kind)`` of one candidate plan.
+
+        Cached by canonical plan identity; raises once the replay
+        budget is spent (cache hits are free).
+        """
+        key = json.dumps(plan.to_list(), sort_keys=True)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        if self.probes >= self.budget:
+            raise RuntimeError(
+                f"faultmin probe budget exhausted ({self.budget})"
+            )
+        self.probes += 1
+        faulted = self._replay(plan)
+        info = (
+            classify(faulted, self.golden),
+            faulted.detector,
+            faulted.detector_kind,
+        )
+        self._cache[key] = info
+        return info
+
+    def verdict(self, plan: FaultPlan) -> str:
+        """Classification of one candidate plan (see :meth:`probe`)."""
+        return self.probe(plan)[0]
+
+    # -- phase 1: ddmin over the event list -----------------------------------
+    def ddmin(self, plan: FaultPlan, target: str, steps: list) -> FaultPlan:
+        """Minimal event subset preserving ``target`` (delta debugging)."""
+        events = list(plan)
+        chunks = 2
+        while len(events) >= 2:
+            size = max(1, len(events) // chunks)
+            reduced = False
+            start = 0
+            while start < len(events):
+                complement = events[:start] + events[start + size:]
+                if not complement:
+                    start += size
+                    continue
+                candidate = plan.subset(complement)
+                if self.verdict(candidate) == target:
+                    steps.append(
+                        f"ddmin: {len(events)} -> {len(complement)} events"
+                    )
+                    events = complement
+                    chunks = max(chunks - 1, 2)
+                    reduced = True
+                    break
+                start += size
+            if not reduced:
+                if size <= 1:
+                    break
+                chunks = min(chunks * 2, len(events))
+        return plan.subset(events)
+
+    # -- phase 2: shrink event fields toward zero -----------------------------
+    def shrink(self, plan: FaultPlan, target: str, steps: list) -> FaultPlan:
+        """Greedily shrink ``at``/``way``/``index``/``bit`` toward 0."""
+        events = list(plan)
+        for i in range(len(events)):
+            for fname in ("at", "way", "index", "bit"):
+                events[i] = self._shrink_field(
+                    events, i, fname, plan, target, steps
+                )
+        return plan.subset(events)
+
+    def _shrink_field(
+        self,
+        events: list,
+        i: int,
+        fname: str,
+        plan: FaultPlan,
+        target: str,
+        steps: list,
+    ) -> FaultEvent:
+        """Binary descent of one field of one event (verdict-preserving)."""
+        current = events[i]
+        value = getattr(current, fname)
+        low = 0
+        while value > low:
+            # Candidates from most to least ambitious: 0 first, then
+            # successive midpoints between the best known failure and
+            # the current value.
+            trial = low
+            candidate = self._with_field(current, fname, trial)
+            trial_events = events[:i] + [candidate] + events[i + 1:]
+            if self.verdict(plan.subset(trial_events)) == target:
+                steps.append(f"shrink: event {i} {fname} {value} -> {trial}")
+                current = candidate
+                value = trial
+                events[i] = current
+                continue
+            # 0 failed: binary-search upward for the smallest keeper.
+            low = trial + 1
+            while low < value:
+                mid = (low + value) // 2
+                candidate = self._with_field(current, fname, mid)
+                trial_events = events[:i] + [candidate] + events[i + 1:]
+                if self.verdict(plan.subset(trial_events)) == target:
+                    steps.append(
+                        f"shrink: event {i} {fname} {value} -> {mid}"
+                    )
+                    current = candidate
+                    value = mid
+                    events[i] = current
+                else:
+                    low = mid + 1
+            break
+        return current
+
+    @staticmethod
+    def _with_field(event: FaultEvent, fname: str, value: int) -> FaultEvent:
+        data = event.to_dict()
+        data[fname] = value
+        return FaultEvent.from_dict(data)
+
+
+def minimize_case(
+    case: FaultCase,
+    plan: Optional[FaultPlan] = None,
+    *,
+    budget: int = 200,
+) -> MinimalCounterexample:
+    """Minimize one case's plan; returns a replayable counterexample.
+
+    ``plan`` defaults to the case's own single-event plan. A case whose
+    baseline verdict is ``benign`` has nothing to minimize and comes
+    back unchanged (classification ``benign``, zero steps).
+    """
+    baseline = plan if plan is not None else case.plan()
+    mini = Minimizer(case, budget=budget)
+    target = mini.verdict(baseline)
+    if target == "benign":
+        return MinimalCounterexample(
+            case=case,
+            plan=baseline,
+            classification=target,
+            original_events=len(baseline),
+            minimized_events=len(baseline),
+            probes=mini.probes,
+        )
+    steps: list[str] = []
+    reduced = mini.ddmin(baseline, target, steps)
+    reduced = mini.shrink(reduced, target, steps)
+    verdict, detector, detector_kind = mini.probe(reduced)
+    assert verdict == target, "minimization must preserve the verdict"
+    return MinimalCounterexample(
+        case=case,
+        plan=reduced,
+        classification=target,
+        detector=detector,
+        detector_kind=detector_kind,
+        original_events=len(baseline),
+        minimized_events=len(reduced),
+        probes=mini.probes,
+        steps=steps,
+    )
+
+
+def replay_counterexample(data: dict) -> dict:
+    """Re-run a counterexample payload and re-check its verdict.
+
+    Returns ``{"expected": ..., "observed": ..., "match": bool,
+    "detector": ...}`` — the CLI's ``--replay`` path prints this, and
+    the test suite asserts ``match``.
+    """
+    ce = MinimalCounterexample.from_dict(data)
+    runner = run_serve_replay if ce.case.serve else run_replay
+    golden = runner(
+        ce.case.design,
+        seed=ce.case.seed,
+        accesses=ce.case.accesses,
+        lines_per_way=ce.case.lines_per_way,
+        plan=None,
+        deep_interval=ce.case.deep_interval,
+    )
+    faulted = runner(
+        ce.case.design,
+        seed=ce.case.seed,
+        accesses=ce.case.accesses,
+        lines_per_way=ce.case.lines_per_way,
+        plan=ce.plan,
+        deep_interval=ce.case.deep_interval,
+    )
+    observed = classify(faulted, golden)
+    return {
+        "expected": ce.classification,
+        "observed": observed,
+        "match": observed == ce.classification,
+        "detector": faulted.detector,
+        "detector_kind": faulted.detector_kind,
+    }

@@ -1,0 +1,324 @@
+"""Fault injectors: seeded, replayable corruption of cache machinery.
+
+Three cooperating pieces turn a :class:`~repro.faults.plan.FaultPlan`
+into actual damage:
+
+- :class:`FaultInjector` owns the schedule. The replay harness calls
+  :meth:`FaultInjector.advance` once before every access; events whose
+  trigger time has arrived either fire immediately (``tag-flip``,
+  ``stamp-corrupt`` mutate state between accesses, exactly where a
+  particle strike lands in hardware) or *arm* and fire inside the next
+  matching operation (walk, relocating commit, eviction).
+- :class:`FaultyArray` is an attribute-forwarding proxy in the mold of
+  :class:`~repro.analysis.sanitizer.SanitizedArray`, inserted *under*
+  the sanitizer: ``SanitizedArray(FaultyArray(array))``. It applies
+  armed walk corruption to the candidate trees it returns and armed
+  relocation corruption right after the commits it forwards — so the
+  sanitizer observes the faulted array exactly as it would observe a
+  buggy one. With no injector armed it is a pure pass-through, and
+  with ``plan=None`` the harness skips it entirely (bit-identical).
+- :class:`LogDroppingPolicy` wraps the serve layer's eviction-log
+  policy (via the shard's ``wrap_policy`` hook) and, when armed, lets
+  one eviction bypass the log: the real policy still learns, the
+  shard's payload bookkeeping does not.
+
+Corruption is applied only to *state between operations* or to
+*returned walk results* — never inside candidate collection itself —
+so the two-phase purity contract (walks are read-only, rule ZS105)
+holds for the faulty stack just as it does for the real one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.base import (
+    CacheArray,
+    Candidate,
+    CommitResult,
+    Position,
+    Replacement,
+)
+from repro.faults.plan import FaultEvent, FaultPlan
+
+__all__ = [
+    "TAG_BITS",
+    "FaultInjector",
+    "FaultyArray",
+    "LogDroppingPolicy",
+    "faulty_wrapper",
+]
+
+#: width of the modelled tag, for ``tag-flip`` bit selection
+TAG_BITS = 20
+
+
+class FaultInjector:
+    """Drives one plan through one replay; all decisions deterministic.
+
+    The injector is purely schedule-driven — location hints in the
+    events pick targets by modular arithmetic over live structure
+    sizes, so no RNG is involved and a replayed plan always damages
+    the same state.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._pending = list(plan)
+        self._cursor = 0
+        self._op = 0
+        self._armed_walk: list[FaultEvent] = []
+        self._armed_commit: list[FaultEvent] = []
+        self._armed_log: list[FaultEvent] = []
+        #: ``(op index, event, applied)`` for every event reaching its
+        #: trigger; ``applied=False`` records a fizzle (no viable target)
+        self.fired: list[tuple[int, FaultEvent, bool]] = []
+
+    # -- schedule ------------------------------------------------------------
+    def advance(
+        self, array: Optional[CacheArray] = None, policy: object = None
+    ) -> None:
+        """Fire/arm every event due at the current access index."""
+        op = self._op
+        pending = self._pending
+        while self._cursor < len(pending) and pending[self._cursor].at <= op:
+            event = pending[self._cursor]
+            self._cursor += 1
+            if event.kind == "tag-flip":
+                self.fired.append((op, event, self._flip_tag(array, event)))
+            elif event.kind == "stamp-corrupt":
+                self.fired.append(
+                    (op, event, self._corrupt_stamp(policy, event))
+                )
+            elif event.kind == "stale-walk":
+                self._armed_walk.append(event)
+            elif event.kind in ("drop-relocation", "misdirect-relocation"):
+                self._armed_commit.append(event)
+            else:  # drop-eviction-log
+                self._armed_log.append(event)
+        self._op = op + 1
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every event has fired (nothing armed, nothing due)."""
+        return (
+            self._cursor >= len(self._pending)
+            and not self._armed_walk
+            and not self._armed_commit
+            and not self._armed_log
+        )
+
+    # -- between-access faults ----------------------------------------------
+    def _flip_tag(self, array: Optional[CacheArray], event: FaultEvent) -> bool:
+        """Flip one bit of one resident tag; the map goes stale."""
+        if array is None:
+            return False
+        ways = array.num_ways
+        lines = array.lines_per_way
+        start_way = event.way % ways
+        start_index = event.index % lines
+        for w in range(ways):
+            way = (start_way + w) % ways
+            row = array._lines[way]
+            for i in range(lines):
+                index = (start_index + i) % lines
+                addr = row[index]
+                if addr is None:
+                    continue
+                row[index] = addr ^ (1 << (event.bit % TAG_BITS))
+                return True
+        return False
+
+    def _corrupt_stamp(self, policy: object, event: FaultEvent) -> bool:
+        """Zero one LRU/FIFO timestamp: that block becomes oldest."""
+        stamps = getattr(policy, "_stamp", None)
+        if not stamps:
+            return False
+        keys = list(stamps)
+        target = keys[-(1 + event.index % len(keys))]
+        stamps[target] = 0
+        return True
+
+    # -- armed faults (consumed by the wrappers) ------------------------------
+    def corrupt_walk(self, repl: Replacement) -> None:
+        """Rewrite one candidate's recorded contents (armed stale-walk)."""
+        if not self._armed_walk or not repl.candidates:
+            return
+        event = self._armed_walk.pop(0)
+        cands = repl.candidates
+        cand = cands[event.index % len(cands)]
+        if cand.address is None:
+            # A stale record of a block that is not there.
+            cand.address = (repl.incoming ^ (1 << (event.bit % TAG_BITS))) | 1
+        else:
+            cand.address = cand.address ^ (1 << (event.bit % TAG_BITS))
+        self.fired.append((self._op, event, True))
+
+    def corrupt_commit(self, array: CacheArray, chosen: Candidate) -> None:
+        """Damage one relocation of a just-committed path (armed kinds).
+
+        The event stays armed across non-relocating commits (a
+        set-associative or skew array never relocates, so the fault
+        physically cannot fire there — by design).
+        """
+        if not self._armed_commit:
+            return
+        path = chosen.path_to_root()
+        if len(path) < 2:
+            return
+        event = self._armed_commit.pop(0)
+        hop = event.index % (len(path) - 1)
+        dest = path[hop].position
+        moved = path[hop + 1].address
+        assert moved is not None, "internal walk nodes always hold a block"
+        wrong = (dest.index + 1 + event.bit) % array.lines_per_way
+        if event.kind == "misdirect-relocation" and wrong != dest.index:
+            array._lines[dest.way][dest.index] = None
+            array._lines[dest.way][wrong] = moved
+            array._pos[moved] = Position(dest.way, wrong)
+        else:
+            # drop-relocation (or a misdirect with nowhere else to go):
+            # the write never lands anywhere.
+            array._lines[dest.way][dest.index] = None
+            array._pos.pop(moved, None)
+        self.fired.append((self._op, event, True))
+
+    def take_log_drop(self) -> bool:
+        """Consume one armed ``drop-eviction-log`` event, if any."""
+        if not self._armed_log:
+            return False
+        event = self._armed_log.pop(0)
+        self.fired.append((self._op, event, True))
+        return True
+
+
+class FaultyArray:
+    """Fault-applying proxy around a :class:`CacheArray`.
+
+    Attribute reads and writes not intercepted here forward to the
+    inner array (same delegation idiom as
+    :class:`~repro.analysis.sanitizer.SanitizedArray`, and for the same
+    reason: the stack must duck-type as the array it wraps). Stacked as
+    ``SanitizedArray(FaultyArray(array))`` the sanitizer checks the
+    *faulted* view — the detector sees what a buggy array would show.
+    """
+
+    _OWN = frozenset({"_inner", "_injector"})
+
+    def __init__(self, array: CacheArray, injector: FaultInjector) -> None:
+        object.__setattr__(self, "_inner", array)
+        object.__setattr__(self, "_injector", injector)
+
+    # -- delegation ----------------------------------------------------------
+    @property
+    def array(self) -> CacheArray:
+        """The wrapped array (for direct inspection)."""
+        return self._inner
+
+    def __getattr__(self, name: str) -> Any:
+        inner = self.__dict__.get("_inner")
+        if inner is None:
+            raise AttributeError(name)
+        return getattr(inner, name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in self._OWN or not hasattr(self._inner, name):
+            object.__setattr__(self, name, value)
+        else:
+            setattr(self._inner, name, value)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._inner
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    # -- intercepted operations ----------------------------------------------
+    def build_replacement(self, address: int) -> Replacement:
+        """Forward the walk, then apply any armed candidate corruption."""
+        repl = self._inner.build_replacement(address)
+        self._injector.corrupt_walk(repl)
+        return repl
+
+    def build_reinsertion(self, address: int) -> Replacement:
+        """Forward a reinsertion walk, then apply armed corruption."""
+        repl = self._inner.build_reinsertion(address)
+        self._injector.corrupt_walk(repl)
+        return repl
+
+    def commit_replacement(
+        self, repl: Replacement, chosen: Candidate
+    ) -> CommitResult:
+        """Forward the commit, then damage one relocation if armed."""
+        result = self._inner.commit_replacement(repl, chosen)
+        self._injector.corrupt_commit(self._inner, chosen)
+        return result
+
+    def commit_reinsertion(
+        self, repl: Replacement, chosen: Candidate
+    ) -> CommitResult:
+        """Forward a reinsertion commit, then damage it if armed."""
+        result = self._inner.commit_reinsertion(repl, chosen)
+        self._injector.corrupt_commit(self._inner, chosen)
+        return result
+
+
+def faulty_wrapper(
+    injector: FaultInjector,
+) -> Callable[[CacheArray], FaultyArray]:
+    """A ``wrap_array`` callable pre-bound to one injector."""
+
+    def wrap(array: CacheArray) -> FaultyArray:
+        """Wrap one array with the captured injector."""
+        return FaultyArray(array, injector)
+
+    return wrap
+
+
+class LogDroppingPolicy:
+    """Serve-layer policy wrapper that drops armed eviction-log records.
+
+    Wraps the shard's :class:`~repro.serve.shard.EvictionLog` (via the
+    ``wrap_policy`` hook): every call forwards, except an armed
+    ``drop-eviction-log`` eviction, which skips the log and notifies
+    only the underlying policy — the shard keeps the evicted block's
+    payload, which is exactly the corruption its consistency check
+    exists to catch.
+    """
+
+    def __init__(self, log: Any, injector: FaultInjector) -> None:
+        self.log = log
+        self.injector = injector
+
+    def on_insert(self, address: int) -> None:
+        """Forward an insertion to the wrapped log."""
+        self.log.on_insert(address)
+
+    def on_access(self, address: int, is_write: bool = False) -> None:
+        """Forward an access to the wrapped log."""
+        self.log.on_access(address, is_write)
+
+    def on_evict(self, address: int) -> None:
+        """Forward an eviction — unless an armed drop consumes it."""
+        if self.injector.take_log_drop():
+            # The log never hears about this victim; the policy must
+            # (its residency view has to stay exact).
+            self.log.inner.on_evict(address)
+        else:
+            self.log.on_evict(address)
+
+    def score(self, address: int) -> object:
+        """Forward scoring to the wrapped log."""
+        return self.log.score(address)
+
+    def select_victim(self, candidates: Sequence[int]) -> int:
+        """Forward victim selection to the wrapped log."""
+        return self.log.select_victim(candidates)
+
+    def drain_score_updates(self) -> list:
+        """Forward score-update draining to the wrapped log."""
+        return self.log.drain_score_updates()
+
+    def global_victim(self) -> Optional[int]:
+        """Forward the global-victim query to the wrapped log."""
+        return self.log.global_victim()

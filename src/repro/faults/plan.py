@@ -1,0 +1,180 @@
+"""Fault plans: what to break, when, and where.
+
+A :class:`FaultPlan` is a finite list of :class:`FaultEvent` records —
+(kind, trigger time, location hints) — fully describing a corruption
+schedule. Plans are *data*: serializable to JSON (checkpoints, minimal
+counterexamples), comparable, and orderable, so a campaign case or a
+faultmin probe is replayable from its plan alone plus the case seed.
+
+Trigger times are access indices into the replay's deterministic
+address stream: event ``at=k`` fires just before access ``k``. Location
+hints (``way``/``index``/``bit``) are taken modulo whatever the target
+structure's size happens to be at fire time, so a plan written for one
+geometry stays meaningful on another (faultmin shrinks them toward 0).
+
+The six fault kinds and the machinery each one corrupts:
+
+====================  ====================================================
+kind                  corrupted structure
+====================  ====================================================
+``tag-flip``          one resident line's stored tag (bit flip), the
+                      position map left stale — a latent corruption
+``stale-walk``        a candidate record in a freshly built walk (the
+                      walk "serves" contents the array does not hold)
+``drop-relocation``   one relocation of a commit never lands: the moved
+                      block vanishes from lines and map
+``misdirect-relocation``  one relocation lands at the wrong index of
+                      its way
+``stamp-corrupt``     an LRU/FIFO timestamp is zeroed — the policy's
+                      recency order silently inverts for that block
+``drop-eviction-log`` one ZServe eviction-log record is dropped, so the
+                      shard never evicts the payload
+====================  ====================================================
+
+The first four target array state and are the ZSpec registry's prey;
+``stamp-corrupt`` is deliberately *outside* every registered
+invariant's reach (policy state is not array state) — the campaign's
+planted detector miss; ``drop-eviction-log`` targets the serve layer
+and is caught by the shard's payload/residency consistency check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+__all__ = [
+    "ARRAY_FAULT_KINDS",
+    "FAULT_KINDS",
+    "POLICY_FAULT_KINDS",
+    "SERVE_FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+]
+
+#: faults applied to cache-array state or walk results
+ARRAY_FAULT_KINDS = (
+    "tag-flip",
+    "stale-walk",
+    "drop-relocation",
+    "misdirect-relocation",
+)
+
+#: faults applied to replacement-policy state (invisible to ZSpec)
+POLICY_FAULT_KINDS = ("stamp-corrupt",)
+
+#: faults applied to the serve layer's eviction accounting
+SERVE_FAULT_KINDS = ("drop-eviction-log",)
+
+#: every fault kind the injector understands
+FAULT_KINDS = ARRAY_FAULT_KINDS + POLICY_FAULT_KINDS + SERVE_FAULT_KINDS
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One scheduled corruption.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    at:
+        Access index the event fires before (``0`` = before the first
+        access). Walk/commit kinds *arm* at this point and fire on the
+        next walk (``stale-walk``), the next relocating commit
+        (``drop-relocation``/``misdirect-relocation``) or the next
+        eviction (``drop-eviction-log``).
+    way / index / bit:
+        Location hints, reduced modulo the live structure's size at
+        fire time (ways, lines or entries, tag bits respectively).
+    """
+
+    kind: str
+    at: int
+    way: int = 0
+    index: int = 0
+    bit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+        if self.at < 0:
+            raise ValueError(f"trigger time must be >= 0, got {self.at}")
+        if self.way < 0 or self.index < 0 or self.bit < 0:
+            raise ValueError("location hints must be >= 0")
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (zero-valued hints elided)."""
+        out: dict[str, Any] = {"kind": self.kind, "at": self.at}
+        for name in ("way", "index", "bit"):
+            value = getattr(self, name)
+            if value:
+                out[name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=data["kind"],
+            at=int(data["at"]),
+            way=int(data.get("way", 0)),
+            index=int(data.get("index", 0)),
+            bit=int(data.get("bit", 0)),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """An ordered, immutable schedule of :class:`FaultEvent` records.
+
+    Events are stored sorted by ``(at, kind, way, index, bit)`` so two
+    plans with the same events compare equal regardless of construction
+    order — faultmin's subset cache relies on that.
+    """
+
+    events: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(
+                self.events,
+                key=lambda e: (e.at, e.kind, e.way, e.index, e.bit),
+            )
+        )
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def kinds(self) -> tuple:
+        """The distinct fault kinds present, in schedule order."""
+        seen: list[str] = []
+        for event in self.events:
+            if event.kind not in seen:
+                seen.append(event.kind)
+        return tuple(seen)
+
+    def subset(self, picked: Sequence[FaultEvent]) -> "FaultPlan":
+        """A new plan holding exactly ``picked`` (faultmin's reducer)."""
+        return FaultPlan(events=tuple(picked))
+
+    def to_list(self) -> list:
+        """JSON-safe list of event dicts."""
+        return [event.to_dict() for event in self.events]
+
+    @classmethod
+    def from_list(cls, data: Sequence[dict]) -> "FaultPlan":
+        """Inverse of :meth:`to_list`."""
+        return cls(events=tuple(FaultEvent.from_dict(d) for d in data))
+
+    @classmethod
+    def single(cls, kind: str, at: int, **hints: int) -> "FaultPlan":
+        """The one-event plan campaigns sweep with."""
+        return cls(events=(FaultEvent(kind=kind, at=at, **hints),))

@@ -47,6 +47,7 @@ controller                plain ``Cache`` (not ``TwoPhaseZCache``), tracing
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Callable, Optional, Union
 
 import numpy as np
@@ -94,45 +95,88 @@ def _build_policy_kernel(cache: "Cache") -> Optional[tuple[PolicyKernel, Optiona
     return None
 
 
-def try_build_turbo(cache: "Cache") -> Optional["TurboCore"]:
-    """A :class:`TurboCore` for ``cache``, or None if unsupported.
+class TurboFallbackWarning(RuntimeWarning):
+    """A requested turbo engine fell back to the reference path."""
+
+
+#: fallback reasons already warned about (one warning per reason)
+_warned_reasons: set[str] = set()
+
+
+def warn_turbo_fallback(reason: str) -> None:
+    """One-shot :class:`TurboFallbackWarning` per distinct reason.
+
+    ``engine="turbo"`` is a performance request, not a behaviour
+    change — both engines are bit-identical — so an unsupported
+    configuration degrades silently in results but loudly in intent:
+    the first cache to fall back for each reason emits a warning
+    naming the unsupported piece, and repeats stay quiet (a sweep
+    building thousands of identical caches must not warn thousands of
+    times).
+    """
+    if reason in _warned_reasons:
+        return
+    _warned_reasons.add(reason)
+    warnings.warn(
+        f"turbo engine unavailable: {reason}; running the reference "
+        "engine (bit-identical, slower)",
+        TurboFallbackWarning,
+        stacklevel=3,
+    )
+
+
+def try_build_turbo_explain(
+    cache: "Cache",
+) -> tuple[Optional["TurboCore"], str]:
+    """A :class:`TurboCore` for ``cache``, or ``(None, reason)``.
 
     Exact-type checks throughout: a subclass may override any of the
     behaviours the kernels replicate, and silently diverging from it
-    would defeat the bit-identity contract.
+    would defeat the bit-identity contract. The reason string names
+    the unsupported piece (cache type, array type, policy, state) and
+    is empty when a core was built.
     """
     from repro.core.controller import Cache
 
     if type(cache) is not Cache:
-        return None
-    if cache._trace is not None or cache._pinned:
-        return None
+        return None, f"unsupported cache type {type(cache).__name__}"
+    if cache._trace is not None:
+        return None, "event tracing enabled"
+    if cache._pinned:
+        return None, "pinned blocks present"
     array = cache.array
     if array._pos:
-        return None
+        return None, "array not empty"
     built = _build_policy_kernel(cache)
     if built is None:
-        return None
+        policy = cache.policy
+        inner = policy.inner if type(policy) is TrackedPolicy else policy
+        return None, f"unsupported policy {type(inner).__name__}"
     kernel, tracked = built
     if type(array) is RandomCandidatesArray:
         return TurboCore(cache, kernel, tracked, pool=RandrangePool(
             MTStream(array._rng), array.lines_per_way
-        ))
+        )), ""
     if type(array) is SetAssociativeArray:
         walk: Union[SetWalk, ZWalk] = SetWalk(
             array.num_ways, array.lines_per_way, array.index_hash
         )
-        return TurboCore(cache, kernel, tracked, walk=walk)
+        return TurboCore(cache, kernel, tracked, walk=walk), ""
     if type(array) in (ZCacheArray, SkewAssociativeArray):
-        if (
-            array.strategy != "bfs"
-            or array.repeat_filter is not None
-            or array.candidate_limit is not None
-        ):
-            return None
+        if array.strategy != "bfs":
+            return None, f"unsupported walk strategy {array.strategy!r}"
+        if array.repeat_filter is not None:
+            return None, "repeat filter installed"
+        if array.candidate_limit is not None:
+            return None, "candidate limit installed"
         walk = ZWalk(array.num_ways, array.lines_per_way, array.levels, array.hashes)
-        return TurboCore(cache, kernel, tracked, walk=walk)
-    return None
+        return TurboCore(cache, kernel, tracked, walk=walk), ""
+    return None, f"unsupported array type {type(array).__name__}"
+
+
+def try_build_turbo(cache: "Cache") -> Optional["TurboCore"]:
+    """A :class:`TurboCore` for ``cache``, or None if unsupported."""
+    return try_build_turbo_explain(cache)[0]
 
 
 class TurboCore:

@@ -131,6 +131,12 @@ class CacheShard:
     wrap_array:
         Optional hook applied to the array before the cache is built —
         the soak harness passes the ZSan sanitizer here.
+    wrap_policy:
+        Optional hook applied to the eviction-logging policy before the
+        cache is built — the ZFault harness injects its log-dropping
+        wrapper here. The shard keeps draining the *inner* log, so a
+        wrapper that swallows a record produces exactly the
+        payload-store desync :meth:`check_consistency` exists to catch.
     fingerprint:
         When True, byte-like payloads are stored with a
         :func:`payload_digest` and every read re-verifies it. In
@@ -150,6 +156,7 @@ class CacheShard:
         max_retries: int = 8,
         obs: Optional[ObsContext] = None,
         wrap_array: Optional[Callable[[ZCacheArray], Any]] = None,
+        wrap_policy: Optional[Callable[[ReplacementPolicy], Any]] = None,
         name: str = "shard",
         fingerprint: bool = False,
     ) -> None:
@@ -165,9 +172,13 @@ class CacheShard:
         # ZCacheArray: it forwards every attribute, and TwoPhaseZCache
         # only isinstance-checks the unwrapped class.
         wrapped: Any = array if wrap_array is None else wrap_array(array)
+        policy_for_cache: Any = (
+            self.policy_log if wrap_policy is None
+            else wrap_policy(self.policy_log)
+        )
         self.cache = TwoPhaseZCache(
             wrapped,
-            self.policy_log,
+            policy_for_cache,
             name=name,
             obs=obs,
         )

@@ -1,6 +1,7 @@
 """Tests for the parallel sweep engine (repro.experiments.parallel)."""
 
 import json
+import os
 
 import pytest
 
@@ -164,6 +165,74 @@ class TestCheckpoint:
         assert set(data) == {"fingerprint", "results"}
         assert len(data["results"]) == len(WORKLOADS) * len(DESIGNS)
         assert not path.with_name(path.name + ".tmp").exists()
+
+
+def _crash_worker_once(policy):
+    """Picklable policy wrapper that hard-kills the first worker to run it.
+
+    The crash flag travels via the environment (workers inherit it);
+    the first process through dies with ``os._exit`` — no exception,
+    no cleanup, exactly a killed worker — and every later call (other
+    workers after the flag lands, the parent's degraded-serial rerun,
+    a resumed campaign) passes through untouched.
+    """
+    flag = os.environ.get("ZCACHE_TEST_CRASH_FLAG")
+    if flag and not os.path.exists(flag):
+        with open(flag, "w", encoding="utf-8") as f:
+            f.write("crashed")
+        os._exit(17)
+    return policy
+
+
+class TestCrashResume:
+    def test_worker_crash_checkpoints_then_resumes_bit_identical(
+        self, tmp_path, monkeypatch
+    ):
+        flag = tmp_path / "crash.flag"
+        ck = tmp_path / "ck.json"
+        monkeypatch.setenv("ZCACHE_TEST_CRASH_FLAG", str(flag))
+        crashed = mini_sweep(
+            jobs=2, checkpoint=str(ck), policy_wrapper=_crash_worker_once
+        )
+        # The worker genuinely died mid-campaign...
+        assert flag.exists()
+        assert crashed.degraded
+        # ...yet the campaign completed every job and checkpointed it.
+        assert not crashed.failed
+        data = json.loads(ck.read_text(encoding="utf-8"))
+        assert len(data["results"]) == len(WORKLOADS) * len(DESIGNS)
+
+        # A resumed run restores everything and recomputes nothing.
+        resumed = mini_sweep(
+            jobs=2, checkpoint=str(ck), policy_wrapper=_crash_worker_once
+        )
+        assert resumed.restored == len(crashed.outcomes)
+
+        # Both the crashed-and-degraded run and the resume are
+        # bit-identical to an undisturbed serial sweep.
+        clean = mini_sweep(jobs=1)
+        for w in clean.sweeps:
+            assert clean.sweeps[w].results == crashed.sweeps[w].results
+            assert clean.sweeps[w].results == resumed.sweeps[w].results
+
+    def test_partial_checkpoint_resume_is_bit_identical(self, tmp_path):
+        # Simulate the parent dying mid-campaign: keep only half the
+        # checkpoint entries (the state an interrupted run leaves) and
+        # resume — restored + recomputed must equal the clean run.
+        ck = tmp_path / "ck.json"
+        full = mini_sweep(jobs=1, checkpoint=str(ck))
+        data = json.loads(ck.read_text(encoding="utf-8"))
+        keys = sorted(data["results"])
+        kept = keys[: len(keys) // 2]
+        data["results"] = {k: data["results"][k] for k in kept}
+        ck.write_text(json.dumps(data), encoding="utf-8")
+
+        resumed = mini_sweep(jobs=2, checkpoint=str(ck))
+        assert resumed.restored == len(kept)
+        statuses = {o.status for o in resumed.outcomes.values()}
+        assert "checkpoint" in statuses and statuses - {"checkpoint"}
+        for w in full.sweeps:
+            assert full.sweeps[w].results == resumed.sweeps[w].results
 
 
 class TestRobustness:

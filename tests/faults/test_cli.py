@@ -1,0 +1,70 @@
+"""Tests for the ``zcache-repro faults`` CLI (repro.faults.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.faults.cli import run_faults_cli
+
+#: tiny-but-real campaign arguments shared by the CLI tests
+SMALL = [
+    "--accesses", "400",
+    "--lines-per-way", "16",
+    "--triggers", "0.5",
+    "--variants", "1",
+]
+
+
+def test_requires_a_mode():
+    with pytest.raises(SystemExit):
+        run_faults_cli([])
+
+
+def test_campaign_prints_table_and_writes_json(capsys, tmp_path):
+    out_path = tmp_path / "faults.json"
+    rc = run_faults_cli(
+        ["--campaign", "--jobs", "1", "--json", str(out_path)] + SMALL
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "det-rate" in out
+    assert "violation taxonomy:" in out
+    payload = json.loads(out_path.read_text(encoding="utf-8"))
+    assert "campaign" in payload
+    assert payload["campaign"]["report"]["table"]
+
+
+def test_campaign_checkpoint_resume(capsys, tmp_path):
+    ck = tmp_path / "ck.json"
+    args = ["--campaign", "--jobs", "1", "--checkpoint", str(ck)] + SMALL
+    assert run_faults_cli(args) == 0
+    capsys.readouterr()
+    assert run_faults_cli(args) == 0
+    assert "restored" in capsys.readouterr().out
+
+
+def test_minimize_and_replay_roundtrip(capsys, tmp_path):
+    out_path = tmp_path / "faults.json"
+    rc = run_faults_cli(
+        ["--campaign", "--minimize", "--jobs", "1",
+         "--budget", "120", "--json", str(out_path)] + SMALL
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "faultmin:" in out
+    payload = json.loads(out_path.read_text(encoding="utf-8"))
+    counterexamples = payload["counterexamples"]
+    # minimal counterexamples for at least two distinct fault kinds
+    assert len({ce["case"]["kind"] for ce in counterexamples}) >= 2
+
+    rc = run_faults_cli(["--replay", str(out_path)])
+    replay_out = capsys.readouterr().out
+    assert rc == 0
+    assert "MISMATCH" not in replay_out
+
+
+def test_top_level_dispatch(capsys, tmp_path):
+    rc = repro_main(["faults", "--campaign", "--jobs", "1"] + SMALL)
+    assert rc == 0
+    assert "faults:" in capsys.readouterr().out

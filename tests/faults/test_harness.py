@@ -1,0 +1,198 @@
+"""Tests for the replay harness and classifier (repro.faults.harness).
+
+Includes the planted-detector-miss acceptance: ``stamp-corrupt``
+targets replacement-policy state, which no registered ZSpec invariant
+reaches, so it must *never* classify as ``detected`` — it is the
+campaign's control proving the detector taxonomy has a known hole.
+"""
+
+import pytest
+
+from repro.analysis.spec import INVARIANT_REGISTRY
+from repro.faults.harness import (
+    CLASSIFICATIONS,
+    DESIGNS,
+    SERVE_DESIGNS,
+    FaultCase,
+    FaultOutcome,
+    classify,
+    run_case,
+    run_replay,
+    run_serve_replay,
+)
+from repro.faults.plan import FaultPlan
+
+SEED = 7
+ACCESSES = 800
+LPW = 16
+
+
+def replay(design, plan=None, **kw):
+    kw.setdefault("seed", SEED)
+    kw.setdefault("accesses", ACCESSES)
+    kw.setdefault("lines_per_way", LPW)
+    return run_replay(design, plan=plan, **kw)
+
+
+class TestGoldenPath:
+    def test_golden_is_deterministic(self):
+        a = replay("Z4/16")
+        b = replay("Z4/16")
+        assert (a.misses, a.hits, a.evictions) == (
+            b.misses,
+            b.hits,
+            b.evictions,
+        )
+        assert a.detector is None and not a.crashed
+        assert a.completed == ACCESSES
+
+    @pytest.mark.parametrize("design", list(DESIGNS))
+    def test_empty_plan_is_bit_identical_to_no_plan(self, design):
+        # faults=None and an empty plan must be indistinguishable: the
+        # injector stack with nothing armed is a pure proxy.
+        golden = replay(design, plan=None)
+        empty = replay(design, plan=FaultPlan())
+        assert classify(empty, golden) == "benign"
+        assert empty.evictions == golden.evictions
+        assert (empty.misses, empty.hits) == (golden.misses, golden.hits)
+
+    def test_serve_empty_plan_is_bit_identical(self):
+        golden = run_serve_replay(
+            "Z4/16", seed=SEED, accesses=ACCESSES, lines_per_way=LPW
+        )
+        empty = run_serve_replay(
+            "Z4/16",
+            seed=SEED,
+            accesses=ACCESSES,
+            lines_per_way=LPW,
+            plan=FaultPlan(),
+        )
+        assert classify(empty, golden) == "benign"
+
+    def test_serve_rejects_non_z_designs(self):
+        with pytest.raises(ValueError, match="zcache design"):
+            run_serve_replay("SA-4", seed=1, accesses=10)
+
+
+class TestDetection:
+    def test_stale_walk_detected_by_walk_records_current(self):
+        golden = replay("Z4/16")
+        faulted = replay(
+            "Z4/16", plan=FaultPlan.single("stale-walk", 400, bit=1)
+        )
+        assert classify(faulted, golden) == "detected"
+        assert faulted.detector == "walk-records-current"
+        assert faulted.detector_kind == "walk-stale"
+
+    def test_drop_relocation_detected_by_conservation(self):
+        golden = replay("Z4/16")
+        faulted = replay(
+            "Z4/16", plan=FaultPlan.single("drop-relocation", 400)
+        )
+        assert classify(faulted, golden) == "detected"
+        assert faulted.detector == "commit-conservation"
+
+    def test_misdirect_relocation_detected_as_map_desync(self):
+        golden = replay("Z4/52")
+        faulted = replay(
+            "Z4/52", plan=FaultPlan.single("misdirect-relocation", 400, bit=1)
+        )
+        assert classify(faulted, golden) == "detected"
+        assert faulted.detector_kind == "map-desync"
+
+    def test_tag_flip_detected_by_deep_scan(self):
+        # With the deep scan running every access the duplicate-tag /
+        # map-desync state checks win the race against a policy crash.
+        golden = replay("Z4/16", deep_interval=1)
+        faulted = replay(
+            "Z4/16",
+            plan=FaultPlan.single("tag-flip", 400, bit=1),
+            deep_interval=1,
+        )
+        assert classify(faulted, golden) == "detected"
+        assert faulted.detector_kind in ("duplicate-tag", "map-desync")
+
+    def test_relocation_faults_benign_on_set_associative(self):
+        # SA-4 has no relocation machinery: the armed event physically
+        # cannot fire, which is the design-dependence story the
+        # campaign table tells.
+        golden = replay("SA-4")
+        for kind in ("drop-relocation", "misdirect-relocation"):
+            faulted = replay("SA-4", plan=FaultPlan.single(kind, 400))
+            assert classify(faulted, golden) == "benign"
+
+
+class TestPlantedDetectorMiss:
+    """stamp-corrupt is outside every registered invariant's reach."""
+
+    def test_no_registered_invariant_covers_policy_state(self):
+        # The registry's vocabulary is array state; nothing in it
+        # mentions policy stamps — the hole is structural, not luck.
+        for invariant in INVARIANT_REGISTRY.values():
+            assert "stamp" not in invariant.name
+            assert "policy" not in invariant.kind
+
+    @pytest.mark.parametrize("design", list(DESIGNS))
+    @pytest.mark.parametrize("at", [100, 400, 700])
+    def test_stamp_corrupt_never_detected(self, design, at):
+        golden = replay(design)
+        faulted = replay(design, plan=FaultPlan.single("stamp-corrupt", at))
+        verdict = classify(faulted, golden)
+        assert verdict != "detected"
+        assert verdict != "crash"
+        assert faulted.detector is None
+
+    def test_stamp_corrupt_surfaces_as_silent_wrong_victim(self):
+        # The miss must not be *invisible*: on designs under pressure
+        # the zeroed stamp elects a different victim, and only the
+        # golden diff sees it.
+        golden = replay("Z4/16")
+        faulted = replay(
+            "Z4/16", plan=FaultPlan.single("stamp-corrupt", 400)
+        )
+        assert classify(faulted, golden) == "silent-wrong-victim"
+        assert faulted.evictions != golden.evictions
+
+
+class TestServeLayer:
+    def test_drop_eviction_log_detected_by_shard_consistency(self):
+        golden = run_serve_replay(
+            "Z4/16", seed=11, accesses=2000, lines_per_way=64
+        )
+        faulted = run_serve_replay(
+            "Z4/16",
+            seed=11,
+            accesses=2000,
+            lines_per_way=64,
+            plan=FaultPlan.single("drop-eviction-log", 1000),
+        )
+        assert classify(faulted, golden) == "detected"
+        assert faulted.detector == "shard-consistency"
+        assert faulted.detector_kind == "payload-desync"
+
+
+class TestRunCase:
+    def test_run_case_produces_checkpointable_outcome(self):
+        case = FaultCase(
+            design="Z4/16",
+            kind="stale-walk",
+            at=400,
+            seed=SEED,
+            accesses=ACCESSES,
+            lines_per_way=LPW,
+            bit=1,
+        )
+        outcome = run_case(case)
+        assert outcome.classification in CLASSIFICATIONS
+        assert outcome.classification == "detected"
+        assert outcome.detected_at > 0
+        assert FaultOutcome.from_dict(outcome.to_dict()) == outcome
+
+    def test_case_dict_roundtrip(self):
+        case = FaultCase(
+            design="Z4/52", kind="tag-flip", at=3, seed=9, serve=False
+        )
+        assert FaultCase.from_dict(case.to_dict()) == case
+
+    def test_serve_designs_subset_of_designs(self):
+        assert set(SERVE_DESIGNS) <= set(DESIGNS)

@@ -1,0 +1,132 @@
+"""Tests for the fault injectors (repro.faults.inject)."""
+
+from repro.core import Cache
+from repro.core.zcache import ZCacheArray
+from repro.faults.inject import FaultInjector, FaultyArray
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.replacement.lru import LRU
+
+
+def _filled_array(blocks=32):
+    array = ZCacheArray(4, 16, levels=2, hash_seed=3)
+    cache = Cache(array, LRU())
+    for address in range(blocks):
+        cache.access(address)
+    return array, cache
+
+
+class TestSchedule:
+    def test_events_fire_at_their_trigger(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(kind="tag-flip", at=0),
+                FaultEvent(kind="tag-flip", at=2),
+            )
+        )
+        array, _ = _filled_array()
+        injector = FaultInjector(plan)
+        injector.advance(array)
+        assert len(injector.fired) == 1
+        injector.advance(array)
+        assert len(injector.fired) == 1
+        injector.advance(array)
+        assert len(injector.fired) == 2
+        assert injector.exhausted
+
+    def test_tag_flip_mutates_one_resident_tag(self):
+        array, _ = _filled_array()
+        before = [list(row) for row in array._lines]
+        injector = FaultInjector(FaultPlan.single("tag-flip", 0, bit=2))
+        injector.advance(array)
+        after = array._lines
+        diffs = [
+            (w, i)
+            for w in range(array.num_ways)
+            for i in range(array.lines_per_way)
+            if before[w][i] != after[w][i]
+        ]
+        assert len(diffs) == 1
+        w, i = diffs[0]
+        assert after[w][i] == before[w][i] ^ (1 << 2)
+        # The position map is deliberately left stale: that is the fault.
+        assert before[w][i] in array._pos
+
+    def test_tag_flip_fizzles_on_empty_array(self):
+        array = ZCacheArray(4, 16, levels=2, hash_seed=3)
+        injector = FaultInjector(FaultPlan.single("tag-flip", 0))
+        injector.advance(array)
+        ((_, _, applied),) = injector.fired
+        assert applied is False
+
+    def test_stamp_corrupt_zeroes_one_stamp(self):
+        _, cache = _filled_array()
+        policy = cache.policy
+        assert all(v > 0 for v in policy._stamp.values())
+        injector = FaultInjector(FaultPlan.single("stamp-corrupt", 0))
+        injector.advance(None, policy)
+        assert sum(1 for v in policy._stamp.values() if v == 0) == 1
+
+    def test_walk_and_commit_kinds_arm_instead_of_firing(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(kind="stale-walk", at=0),
+                FaultEvent(kind="drop-relocation", at=0),
+                FaultEvent(kind="drop-eviction-log", at=0),
+            )
+        )
+        injector = FaultInjector(plan)
+        injector.advance()
+        assert not injector.fired
+        assert not injector.exhausted
+        assert injector.take_log_drop() is True
+        assert injector.take_log_drop() is False
+
+
+class TestFaultyArray:
+    def test_pure_proxy_with_empty_plan(self):
+        # Same seed, same stream; one cache wrapped, one bare — the
+        # proxy with nothing armed must be invisible in every counter
+        # and in the final array contents.
+        bare_array = ZCacheArray(4, 16, levels=2, hash_seed=9)
+        bare = Cache(bare_array, LRU())
+        wrapped_array = ZCacheArray(4, 16, levels=2, hash_seed=9)
+        injector = FaultInjector(FaultPlan())
+        proxied = Cache(FaultyArray(wrapped_array, injector), LRU())
+        import random
+
+        rng_a, rng_b = random.Random(11), random.Random(11)
+        for _ in range(500):
+            bare.access(rng_a.randrange(256))
+            proxied.access(rng_b.randrange(256))
+        assert bare_array._lines == wrapped_array._lines
+        assert bare_array._pos == wrapped_array._pos
+        assert (
+            bare.stats.counters()["misses"].value
+            == proxied.stats.counters()["misses"].value
+        )
+
+    def test_delegation_surface(self):
+        array, _ = _filled_array()
+        injector = FaultInjector(FaultPlan())
+        proxy = FaultyArray(array, injector)
+        assert proxy.array is array
+        assert proxy.num_ways == array.num_ways
+        assert len(proxy) == len(array)
+        resident = next(iter(array._pos))
+        assert resident in proxy
+        assert proxy.lookup(resident) == array.lookup(resident)
+
+    def test_armed_walk_corrupts_returned_candidates(self):
+        array, _ = _filled_array(blocks=200)
+        injector = FaultInjector(FaultPlan.single("stale-walk", 0, bit=1))
+        proxy = FaultyArray(array, injector)
+        injector.advance(array)
+        repl = proxy.build_replacement(10_000)
+        # Exactly one candidate record disagrees with the array.
+        stale = [
+            c
+            for c in repl.candidates
+            if c.address != array._read(c.position)
+        ]
+        assert len(stale) == 1
+        assert injector.exhausted

@@ -1,0 +1,82 @@
+"""Tests for fault plans (repro.faults.plan)."""
+
+import pytest
+
+from repro.faults.plan import (
+    ARRAY_FAULT_KINDS,
+    FAULT_KINDS,
+    POLICY_FAULT_KINDS,
+    SERVE_FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+)
+
+
+class TestFaultEvent:
+    def test_kind_vocabulary_is_partitioned(self):
+        assert set(FAULT_KINDS) == (
+            set(ARRAY_FAULT_KINDS)
+            | set(POLICY_FAULT_KINDS)
+            | set(SERVE_FAULT_KINDS)
+        )
+        assert len(FAULT_KINDS) == len(set(FAULT_KINDS))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(kind="cosmic-ray", at=0)
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="tag-flip", at=-1)
+        with pytest.raises(ValueError):
+            FaultEvent(kind="tag-flip", at=0, bit=-2)
+
+    def test_dict_roundtrip_elides_zero_hints(self):
+        event = FaultEvent(kind="tag-flip", at=7, bit=3)
+        data = event.to_dict()
+        assert data == {"kind": "tag-flip", "at": 7, "bit": 3}
+        assert FaultEvent.from_dict(data) == event
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_every_kind_constructs(self, kind):
+        assert FaultEvent(kind=kind, at=0).kind == kind
+
+
+class TestFaultPlan:
+    def test_events_are_canonically_ordered(self):
+        a = FaultEvent(kind="tag-flip", at=5)
+        b = FaultEvent(kind="stale-walk", at=2)
+        assert FaultPlan(events=(a, b)) == FaultPlan(events=(b, a))
+        assert FaultPlan(events=(a, b)).events[0] is b
+
+    def test_len_iter_bool(self):
+        plan = FaultPlan.single("tag-flip", 3)
+        assert len(plan) == 1 and bool(plan)
+        assert list(plan) == [FaultEvent(kind="tag-flip", at=3)]
+        assert not FaultPlan()
+
+    def test_kinds_in_schedule_order(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(kind="stamp-corrupt", at=9),
+                FaultEvent(kind="tag-flip", at=1),
+                FaultEvent(kind="tag-flip", at=4),
+            )
+        )
+        assert plan.kinds() == ("tag-flip", "stamp-corrupt")
+
+    def test_subset_and_list_roundtrip(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(kind="tag-flip", at=1, bit=2),
+                FaultEvent(kind="stale-walk", at=8, index=1),
+            )
+        )
+        assert FaultPlan.from_list(plan.to_list()) == plan
+        sub = plan.subset([plan.events[1]])
+        assert len(sub) == 1 and sub.events[0].kind == "stale-walk"
+
+    def test_single_passes_hints(self):
+        plan = FaultPlan.single("misdirect-relocation", 12, index=2, bit=5)
+        (event,) = plan
+        assert (event.at, event.index, event.bit) == (12, 2, 5)
